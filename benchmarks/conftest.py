@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+asserts its qualitative shape.  The scale comes from the REPRO_SCALE
+environment variable (small | medium | full; default small so the
+whole harness completes in minutes), and simulation campaigns are
+cached on disk (REPRO_CACHE_DIR) and shared across benchmarks via a
+session-scoped context.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext, Scale
+
+
+def _scale() -> Scale:
+    name = os.environ.get("REPRO_SCALE", "small").lower()
+    return {"small": Scale.SMALL, "medium": Scale.MEDIUM,
+            "full": Scale.FULL}[name]
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def context(scale) -> ExperimentContext:
+    return ExperimentContext(scale, seed=0)

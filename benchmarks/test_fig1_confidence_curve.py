@@ -1,0 +1,12 @@
+"""Figure 1: the analytical confidence curve (pure math)."""
+
+from repro.experiments import fig1_confidence_curve
+
+
+def test_fig1_confidence_curve(benchmark):
+    result = benchmark(fig1_confidence_curve.run)
+    assert result.saturation_high > 0.997
+    assert result.saturation_low < 0.003
+    print()
+    for row in result.rows()[::8]:
+        print(row)

@@ -1,0 +1,24 @@
+"""Section VII-A: the CPU-hours overhead example."""
+
+import pytest
+
+from repro.experiments import sec7_overhead
+
+
+def test_sec7_overhead_paper_numbers(benchmark):
+    result = benchmark(sec7_overhead.run_paper_numbers)
+    print()
+    for row in result.rows():
+        print(row)
+    by_label = {s.label: s for s in result.scenarios}
+    # Exact reproduction of the printed numbers.
+    assert by_label["balanced random (75 %)"].detailed_hours == \
+        pytest.approx(136, rel=0.01)
+    assert by_label["balanced random (90 %)"].detailed_hours == \
+        pytest.approx(544, rel=0.01)
+    assert result.stratification_extra_fraction == pytest.approx(0.74, abs=0.02)
+    # Workload stratification gives more confidence for less total time.
+    strata = by_label["workload strata (99 %)"]
+    random90 = by_label["balanced random (90 %)"]
+    assert strata.total_hours < random90.total_hours
+    assert strata.confidence > random90.confidence

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: is DRRIP better than LRU, and how many workloads prove it?
+
+This walks the paper's core loop on a small scale (a 2-core machine,
+the full 253-workload population, the fast BADCO simulator):
+
+1. simulate the whole workload population under both LLC policies;
+2. build the per-workload throughput difference d(w);
+3. read off the coefficient of variation and the analytical degree of
+   confidence (eq. 5) for a few sample sizes;
+4. ask the Section VII guideline what an experimenter should do.
+
+Runs in a few minutes from scratch; results are cached on disk, so the
+second run is instant.
+"""
+
+from repro import (
+    ExperimentContext,
+    IPCT,
+    PolicyComparisonStudy,
+    Scale,
+    SimpleRandomSampling,
+)
+
+
+def main() -> None:
+    context = ExperimentContext(Scale.SMALL, seed=0)
+    cores = 2
+
+    print("Simulating the workload population with BADCO (LRU + DRRIP)...")
+    results = context.badco_population_results(cores)
+    population = context.population(cores)
+    print(f"  population: {len(population)} workloads, "
+          f"{len(results.policies)} policies\n")
+
+    study = PolicyComparisonStudy(
+        population,
+        results.ipc_table("LRU"),
+        results.ipc_table("DRRIP"),
+        IPCT,
+        results.reference,
+    )
+
+    print(f"DRRIP vs LRU under {study.metric.name}:")
+    print(f"  mean d(w)          = {study.statistics.mean:+.5f}")
+    print(f"  1/cv               = {study.inverse_cv:+.3f}")
+    print(f"  DRRIP wins overall = {study.y_outperforms_x()}")
+    print(f"  required W (8cv^2) = {study.required_sample_size()}\n")
+
+    print("Degree of confidence that DRRIP > LRU (model vs measured):")
+    estimator = study.estimator(draws=500)
+    method = SimpleRandomSampling()
+    print(f"  {'W':>5}  {'model':>7}  {'measured':>8}")
+    for w in (5, 10, 20, 40, 80):
+        model = study.model_confidence(w)
+        measured = estimator.confidence(method, w)
+        print(f"  {w:5d}  {model:7.3f}  {measured:8.3f}")
+
+    decision = study.guideline()
+    print(f"\nSection VII guideline: {decision.recommendation.value}"
+          + (f" with W = {decision.sample_size}" if decision.sample_size
+             else ""))
+
+
+if __name__ == "__main__":
+    main()

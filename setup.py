@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e .`` work on environments whose
+setuptools predates PEP 660 editable wheels (configuration lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

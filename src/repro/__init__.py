@@ -1,0 +1,99 @@
+"""repro: benchmark-combination selection for multicore throughput.
+
+A full reproduction of Velasquez, Michaud & Seznec, "Selecting
+Benchmark Combinations for the Evaluation of Multicore Throughput"
+(ISPASS 2013), as a reusable library:
+
+- ``repro.core`` -- the paper's contribution: throughput metrics, the
+  CLT confidence model (W = 8 cv^2), four workload-sampling methods
+  (random, balanced random, benchmark stratification, workload
+  stratification) and the Section VII practical guideline.
+- ``repro.bench`` -- a synthetic 22-benchmark SPEC CPU2006 stand-in
+  suite with deterministic trace generation.
+- ``repro.cpu`` / ``repro.mem`` -- the detailed out-of-order core model
+  and the memory hierarchy (caches, LRU/RND/FIFO/DIP/DRRIP replacement,
+  prefetchers, TLBs, DRAM, shared uncore).
+- ``repro.sim`` -- the detailed multicore simulator and the BADCO-style
+  fast approximate simulator, plus campaign infrastructure.
+- ``repro.experiments`` -- one driver per table / figure of the paper.
+
+Quickstart::
+
+    from repro import (ExperimentContext, IPCT, PolicyComparisonStudy,
+                       Scale, SimpleRandomSampling)
+
+    context = ExperimentContext(Scale.SMALL)
+    results = context.badco_population_results(cores=2)
+    study = PolicyComparisonStudy(
+        context.population(2), results.ipc_table("LRU"),
+        results.ipc_table("DIP"), IPCT, results.reference)
+    print(study.inverse_cv, study.guideline())
+"""
+
+from repro.core import (
+    BalancedRandomSampling,
+    BenchmarkStratification,
+    ConfidenceEstimator,
+    DeltaVariable,
+    GuidelineDecision,
+    HSU,
+    IPCT,
+    METRICS,
+    OverheadModel,
+    PolicyComparisonStudy,
+    SAMPLING_METHODS,
+    SamplingMethod,
+    SimpleRandomSampling,
+    ThroughputMetric,
+    WeightedSample,
+    Workload,
+    WorkloadPopulation,
+    WorkloadStratification,
+    WSU,
+    classify_benchmarks,
+    confidence_from_cv,
+    delta_statistics,
+    metric_by_name,
+    population_size,
+    recommend_method,
+    required_sample_size,
+)
+from repro.bench import SPEC_2006, BenchmarkSpec, MpkiClass, benchmark_names
+from repro.mem import POLICY_NAMES
+from repro.sim import (
+    BadcoModelBuilder,
+    BadcoSimulator,
+    DetailedSimulator,
+    IntervalProfileBuilder,
+    IntervalSimulator,
+    PopulationResults,
+    SimulationCampaign,
+)
+from repro.experiments import ExperimentContext, POLICY_PAIRS, Scale
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Workload", "WorkloadPopulation", "population_size",
+    "ThroughputMetric", "IPCT", "WSU", "HSU", "METRICS", "metric_by_name",
+    "DeltaVariable", "delta_statistics",
+    "confidence_from_cv", "required_sample_size",
+    "SamplingMethod", "WeightedSample", "SimpleRandomSampling",
+    "BalancedRandomSampling", "BenchmarkStratification",
+    "WorkloadStratification", "SAMPLING_METHODS",
+    "ConfidenceEstimator", "classify_benchmarks",
+    "GuidelineDecision", "OverheadModel", "recommend_method",
+    "PolicyComparisonStudy",
+    # bench
+    "SPEC_2006", "BenchmarkSpec", "MpkiClass", "benchmark_names",
+    # mem
+    "POLICY_NAMES",
+    # sim
+    "DetailedSimulator", "BadcoSimulator", "BadcoModelBuilder",
+    "IntervalSimulator", "IntervalProfileBuilder",
+    "PopulationResults", "SimulationCampaign",
+    # experiments
+    "ExperimentContext", "Scale", "POLICY_PAIRS",
+]

@@ -1,0 +1,44 @@
+"""Synthetic benchmark suite substrate.
+
+The paper builds multiprogrammed workloads from 22 of the 29 SPEC CPU2006
+benchmarks.  SPEC binaries and reference inputs are proprietary, so this
+package provides the closest synthetic equivalent: 22 deterministic,
+seeded micro-operation trace generators, one per SPEC benchmark name,
+each parameterised (instruction mix, instruction-level parallelism,
+working-set size, memory-access pattern, branch behaviour) so that its
+single-thread memory intensity (LLC misses per kilo-instruction, MPKI)
+falls in the class the paper's Table IV assigns to that benchmark.
+
+Public API:
+
+- :class:`~repro.bench.trace.Uop`, :class:`~repro.bench.trace.UopKind`,
+  :class:`~repro.bench.trace.Trace` -- the trace record model.
+- :class:`~repro.bench.spec.BenchmarkSpec` and the
+  :data:`~repro.bench.spec.SPEC_2006` suite table.
+- :func:`~repro.bench.generator.generate_trace` -- deterministic trace
+  generation from a spec.
+"""
+
+from repro.bench.trace import Trace, Uop, UopKind
+from repro.bench.spec import (
+    BenchmarkSpec,
+    MemoryPattern,
+    MpkiClass,
+    SPEC_2006,
+    benchmark_by_name,
+    benchmark_names,
+)
+from repro.bench.generator import generate_trace
+
+__all__ = [
+    "Trace",
+    "Uop",
+    "UopKind",
+    "BenchmarkSpec",
+    "MemoryPattern",
+    "MpkiClass",
+    "SPEC_2006",
+    "benchmark_by_name",
+    "benchmark_names",
+    "generate_trace",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``benchmarks``   -- list the synthetic suite and its Table IV classes;
+- ``population``   -- population sizes and (optionally) the workloads;
+- ``classify``     -- measure MPKI and regenerate Table IV;
+- ``study``        -- compare two policies end to end (cv, confidence,
+                      guideline) on an approximate-simulation population;
+- ``plan``         -- apply the Section VII guideline to a cv value;
+- ``experiment``   -- run one of the paper's table/figure drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.spec import SPEC_2006
+from repro.core.confidence import confidence_from_cv
+from repro.core.metrics import metric_by_name
+from repro.core.planner import recommend_method
+from repro.core.population import population_size
+from repro.core.study import PolicyComparisonStudy
+from repro.experiments.common import ExperimentContext, Scale
+
+_EXPERIMENTS = {
+    "fig1": "fig1_confidence_curve",
+    "fig2": "fig2_cpi_accuracy",
+    "fig3": "fig3_model_validation",
+    "fig4": "fig4_cv_bars",
+    "fig5": "fig5_cv_metrics",
+    "fig6": "fig6_sampling_methods",
+    "fig7": "fig7_actual_confidence",
+    "table3": "table3_speedup",
+    "table4": "table4_classification",
+    "sec7": "sec7_overhead",
+    "ext1": "ext1_speedup_accuracy",
+    "ext2": "ext2_simulator_ablation",
+}
+
+
+def _parse_scale(value: str) -> Scale:
+    try:
+        return Scale(value.lower())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scale must be small, medium or full (got {value!r})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="list the synthetic SPEC suite")
+
+    pop = sub.add_parser("population", help="workload population info")
+    pop.add_argument("--cores", type=int, default=4)
+    pop.add_argument("--list", action="store_true",
+                     help="print every workload (2 cores only is sane)")
+
+    classify = sub.add_parser("classify", help="measure MPKI (Table IV)")
+    classify.add_argument("--scale", type=_parse_scale, default=Scale.MEDIUM)
+
+    study = sub.add_parser("study", help="compare two policies")
+    study.add_argument("baseline")
+    study.add_argument("candidate")
+    study.add_argument("--cores", type=int, default=2)
+    study.add_argument("--metric", default="IPCT")
+    study.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
+
+    plan = sub.add_parser("plan", help="Section VII guideline for a cv")
+    plan.add_argument("cv", type=float)
+    plan.add_argument("--sample-size", type=int, default=30)
+
+    experiment = sub.add_parser("experiment", help="run a paper artefact")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
+    return parser
+
+
+def _cmd_benchmarks() -> int:
+    print(f"{'benchmark':>12}  {'class':>7}  {'pattern':>13}  "
+          f"{'working set':>12}")
+    for spec in SPEC_2006:
+        print(f"{spec.name:>12}  {spec.mpki_class.value:>7}  "
+              f"{spec.pattern.value:>13}  {spec.working_set:>11}B")
+    return 0
+
+
+def _cmd_population(args) -> int:
+    size = population_size(len(SPEC_2006), args.cores)
+    print(f"B = {len(SPEC_2006)} benchmarks, K = {args.cores} cores")
+    print(f"population size C(B+K-1, K) = {size}")
+    if args.list:
+        from repro.core.population import enumerate_workloads
+
+        for workload in enumerate_workloads(
+                [s.name for s in SPEC_2006], args.cores):
+            print(" ", workload.key())
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.experiments import table4_classification
+
+    result = table4_classification.run(args.scale)
+    for row in result.rows():
+        print(row)
+    matches = result.matches_paper()
+    print(f"matching the paper's Table IV: "
+          f"{sum(matches.values())}/{len(matches)}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    context = ExperimentContext(args.scale)
+    metric = metric_by_name(args.metric)
+    results = context.badco_population_results(args.cores)
+    for policy in (args.baseline, args.candidate):
+        if policy not in results.policies:
+            print(f"unknown policy {policy!r}; have {results.policies}",
+                  file=sys.stderr)
+            return 2
+    study = PolicyComparisonStudy(
+        context.population(args.cores),
+        results.ipc_table(args.baseline),
+        results.ipc_table(args.candidate), metric, results.reference)
+    print(f"{args.candidate} vs {args.baseline} "
+          f"({metric.name}, {args.cores} cores, "
+          f"{len(study.population)} workloads):")
+    print(f"  1/cv = {study.inverse_cv:+.3f}")
+    print(f"  {args.candidate} wins on the population: "
+          f"{study.y_outperforms_x()}")
+    for w in (10, 30, 100):
+        print(f"  model confidence at W={w}: {study.model_confidence(w):.3f}")
+    decision = study.guideline()
+    print(f"  guideline: {decision.recommendation.value}"
+          + (f" (W = {decision.sample_size})" if decision.sample_size else ""))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    decision = recommend_method(args.cv, args.sample_size)
+    print(f"cv = {args.cv}: {decision.recommendation.value}")
+    if decision.sample_size:
+        print(f"detailed-simulation sample size: {decision.sample_size}")
+        print(f"model confidence there: "
+              f"{confidence_from_cv(abs(args.cv), decision.sample_size):.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(
+        f"repro.experiments.{_EXPERIMENTS[args.name]}")
+    if args.name == "fig1":
+        module.main()
+        return 0
+    if args.name == "sec7":
+        # The paper-MIPS variant is exact and instant; the measured-MIPS
+        # variant (module.run) times this machine's simulators.
+        result = module.run_paper_numbers()
+        for row in result.rows():
+            print(row)
+        print(f"stratification extra fraction: "
+              f"{result.stratification_extra_fraction:.2f}")
+        return 0
+    result = module.run(args.scale)
+    for row in result.rows():
+        print(row)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "benchmarks": lambda: _cmd_benchmarks(),
+        "population": lambda: _cmd_population(args),
+        "classify": lambda: _cmd_classify(args),
+        "study": lambda: _cmd_study(args),
+        "plan": lambda: _cmd_plan(args),
+        "experiment": lambda: _cmd_experiment(args),
+    }
+    try:
+        return handlers[args.command]()
+    except BrokenPipeError:
+        # Output piped into a pager/head that quit early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

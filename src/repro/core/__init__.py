@@ -1,0 +1,89 @@
+"""The paper's contribution: workload sampling for multicore throughput.
+
+This package implements everything in Sections II, III, VI and VII of
+the paper:
+
+- workload populations over a benchmark suite
+  (:mod:`repro.core.population`);
+- throughput metrics IPCT / WSU / HSU (:mod:`repro.core.metrics`);
+- the per-workload difference variable d(w) and its coefficient of
+  variation (:mod:`repro.core.delta`);
+- the CLT confidence model, eq. (5), and the required-sample-size rule
+  W = 8 cv^2, eq. (8) (:mod:`repro.core.confidence`);
+- the four sampling methods: simple random, balanced random, benchmark
+  stratification and workload stratification
+  (:mod:`repro.core.sampling`);
+- empirical confidence estimation by Monte-Carlo resampling
+  (:mod:`repro.core.estimator`);
+- MPKI benchmark classification, Table IV
+  (:mod:`repro.core.classification`);
+- the Section VII practical guideline and its CPU-hours overhead model
+  (:mod:`repro.core.planner`);
+- study orchestration (:mod:`repro.core.study`).
+"""
+
+from repro.core.workload import Workload
+from repro.core.population import WorkloadPopulation, population_size
+from repro.core.metrics import (
+    HSU,
+    IPCT,
+    METRICS,
+    ThroughputMetric,
+    metric_by_name,
+    WSU,
+)
+from repro.core.delta import DeltaVariable, delta_statistics
+from repro.core.confidence import (
+    confidence_from_cv,
+    confidence_model_curve,
+    required_sample_size,
+)
+from repro.core.sampling import (
+    BalancedRandomSampling,
+    BenchmarkStratification,
+    SAMPLING_METHODS,
+    SamplingMethod,
+    SimpleRandomSampling,
+    WeightedSample,
+    WorkloadStratification,
+)
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.classification import classify_benchmarks
+from repro.core.planner import GuidelineDecision, OverheadModel, recommend_method
+from repro.core.speedup_accuracy import (
+    SpeedupAccuracy,
+    SpeedupAccuracyEvaluator,
+)
+from repro.core.study import PolicyComparisonStudy
+
+__all__ = [
+    "Workload",
+    "WorkloadPopulation",
+    "population_size",
+    "ThroughputMetric",
+    "IPCT",
+    "WSU",
+    "HSU",
+    "METRICS",
+    "metric_by_name",
+    "DeltaVariable",
+    "delta_statistics",
+    "confidence_from_cv",
+    "confidence_model_curve",
+    "required_sample_size",
+    "SamplingMethod",
+    "WeightedSample",
+    "SimpleRandomSampling",
+    "BalancedRandomSampling",
+    "BenchmarkStratification",
+    "WorkloadStratification",
+    "SAMPLING_METHODS",
+    "ConfidenceEstimator",
+    "classify_benchmarks",
+    "GuidelineDecision",
+    "OverheadModel",
+    "recommend_method",
+    "PolicyComparisonStudy",
+    "SpeedupAccuracy",
+    "SpeedupAccuracyEvaluator",
+]

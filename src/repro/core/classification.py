@@ -1,0 +1,38 @@
+"""Benchmark classification by memory intensity (Table IV).
+
+The paper classifies SPEC benchmarks by MPKI (LLC misses per
+kilo-instruction): Low < 1, Medium < 5, High >= 5.  The measurement
+itself lives in the experiment layer (it needs a simulator); this
+module holds the pure classification logic and the helpers study code
+uses to turn measured MPKIs into class labels and class tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.bench.spec import MpkiClass
+
+
+def classify_benchmarks(mpki: Mapping[str, float],
+                        low_threshold: float = 1.0,
+                        high_threshold: float = 5.0) -> Dict[str, MpkiClass]:
+    """Class label for each benchmark from measured MPKI values."""
+    return {name: MpkiClass.classify(value, low_threshold, high_threshold)
+            for name, value in mpki.items()}
+
+
+def class_labels(mpki: Mapping[str, float]) -> Dict[str, str]:
+    """String labels ("low"/"medium"/"high"), e.g. for stratification."""
+    return {name: cls.value for name, cls in classify_benchmarks(mpki).items()}
+
+
+def classification_table(mpki: Mapping[str, float]) -> Dict[MpkiClass, List[str]]:
+    """The Table IV layout: class -> sorted benchmark names."""
+    table: Dict[MpkiClass, List[str]] = {
+        MpkiClass.LOW: [], MpkiClass.MEDIUM: [], MpkiClass.HIGH: []}
+    for name, cls in classify_benchmarks(mpki).items():
+        table[cls].append(name)
+    for names in table.values():
+        names.sort()
+    return table

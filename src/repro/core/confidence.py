@@ -1,0 +1,65 @@
+"""The CLT confidence model of Section III.
+
+For W workloads drawn randomly and independently, the sample mean D of
+d(w) is approximately normal with mean mu and variance sigma^2 / W, so
+the *degree of confidence* that Y outperforms X is (eq. 5):
+
+    Pr(D >= 0) = 1/2 * (1 + erf( (1/cv) * sqrt(W/2) ))
+
+with cv = sigma/mu.  The model saturates (conf ~ 0 or 1) when
+|(1/cv) sqrt(W/2)| = 2, giving the required-sample-size rule (eq. 8):
+
+    W = 8 * cv^2
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def confidence_from_cv(cv: float, sample_size: int) -> float:
+    """Degree of confidence that Y > X, eq. (5).
+
+    Args:
+        cv: signed coefficient of variation of d(w); a negative cv
+            (negative mean) yields confidence below 0.5.
+        sample_size: W, the number of randomly drawn workloads.
+    """
+    if sample_size < 1:
+        raise ValueError("sample size must be >= 1")
+    if cv == 0.0:
+        return 1.0          # sigma > 0 and mu = infinite separation
+    if math.isinf(cv):
+        return 0.5          # mu = 0: coin flip at any sample size
+    x = (1.0 / cv) * math.sqrt(sample_size / 2.0)
+    return 0.5 * (1.0 + math.erf(x))
+
+
+def confidence_model_curve(points: Sequence[float]) -> List[Tuple[float, float]]:
+    """The Fig. 1 curve: (x, conf) for x = (1/cv) sqrt(W/2)."""
+    return [(x, 0.5 * (1.0 + math.erf(x))) for x in points]
+
+
+def required_sample_size(cv: float, saturation: float = 2.0) -> int:
+    """W from eq. (8): sample size at which confidence saturates.
+
+    Args:
+        cv: coefficient of variation of d(w) (sign is irrelevant).
+        saturation: the |x| at which the erf is considered saturated;
+            the paper uses 2, giving W = 8 cv^2.
+
+    Returns:
+        The smallest integer W with (1/|cv|) sqrt(W/2) >= saturation
+        (at least 1).
+    """
+    if math.isinf(cv):
+        raise ValueError("cv is infinite: the machines are equivalent "
+                         "(no sample size suffices)")
+    w = 2.0 * (saturation * abs(cv)) ** 2
+    return max(1, math.ceil(w))
+
+
+def confidence_at_saturation(saturation: float = 2.0) -> float:
+    """Confidence value reached at the saturation point (~0.9977 for 2)."""
+    return 0.5 * (1.0 + math.erf(saturation))

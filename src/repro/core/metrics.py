@@ -1,0 +1,129 @@
+"""Throughput metrics: IPCT, WSU, HSU (and a GMS extension).
+
+Section II-D of the paper summarises the three most used throughput
+metrics with a single formula (eq. (1)): per-workload throughput is an
+X-mean over cores of IPC_wk / IPCref[b_wk], where X-mean is the
+arithmetic or harmonic mean, and sample throughput (eq. (2)) applies
+the same X-mean over workloads:
+
+- IPCT (IPC throughput): A-mean, IPCref = 1;
+- WSU (weighted speedup):  A-mean, IPCref = single-thread IPC;
+- HSU (harmonic speedup):  H-mean, IPCref = single-thread IPC.
+
+Footnote 3 notes the same machinery covers the geometric mean of
+speedups (GMS) via logarithms; we implement it as an extension.
+
+Stratified estimates (eq. (9)) replace the plain X-mean over workloads
+with a weighted X-mean, implemented here by :meth:`ThroughputMetric.
+sample_throughput` taking optional weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+#: Reference IPC table: benchmark name -> single-thread IPC.
+ReferenceIpcs = Mapping[str, float]
+
+
+def _amean(values: Sequence[float], weights: Optional[Sequence[float]]) -> float:
+    if weights is None:
+        return sum(values) / len(values)
+    total = sum(weights)
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def _hmean(values: Sequence[float], weights: Optional[Sequence[float]]) -> float:
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    if weights is None:
+        return len(values) / sum(1.0 / v for v in values)
+    total = sum(weights)
+    return total / sum(w / v for v, w in zip(values, weights))
+
+
+def _gmean(values: Sequence[float], weights: Optional[Sequence[float]]) -> float:
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    if weights is None:
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+    total = sum(weights)
+    return math.exp(sum(w * math.log(v) for v, w in zip(values, weights)) / total)
+
+
+_MEANS = {"A": _amean, "H": _hmean, "G": _gmean}
+
+
+@dataclass(frozen=True)
+class ThroughputMetric:
+    """One throughput metric in the paper's X-mean formulation.
+
+    Attributes:
+        name: canonical short name (IPCT, WSU, HSU, GMS).
+        mean_kind: "A", "H" or "G" -- the X-mean of eqs. (1)/(2).
+        uses_reference: if False, IPCref[b] is 1 for every benchmark
+            (the IPCT case); if True the caller must supply single-
+            thread reference IPCs.
+    """
+
+    name: str
+    mean_kind: str
+    uses_reference: bool
+
+    def workload_throughput(self, ipcs: Sequence[float],
+                            benchmarks: Sequence[str],
+                            reference: Optional[ReferenceIpcs] = None) -> float:
+        """t(w) of eq. (1): X-mean over cores of IPC / IPCref.
+
+        Args:
+            ipcs: per-core IPC values of the workload, one per core.
+            benchmarks: benchmark name on each core (same order).
+            reference: single-thread reference IPCs; required when
+                :attr:`uses_reference` is set.
+        """
+        if len(ipcs) != len(benchmarks):
+            raise ValueError("one IPC per benchmark required")
+        if self.uses_reference:
+            if reference is None:
+                raise ValueError(f"{self.name} needs reference IPCs")
+            ratios = [ipc / reference[b] for ipc, b in zip(ipcs, benchmarks)]
+        else:
+            ratios = list(ipcs)
+        return _MEANS[self.mean_kind](ratios, None)
+
+    def sample_throughput(self, per_workload: Sequence[float],
+                          weights: Optional[Sequence[float]] = None) -> float:
+        """T of eq. (2), or the weighted eq. (9) when weights are given."""
+        if not per_workload:
+            raise ValueError("empty sample")
+        return _MEANS[self.mean_kind](per_workload, weights)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: IPC throughput: plain arithmetic mean of IPCs.
+IPCT = ThroughputMetric("IPCT", "A", uses_reference=False)
+#: Weighted speedup [Snavely & Tullsen, ASPLOS 2000].
+WSU = ThroughputMetric("WSU", "A", uses_reference=True)
+#: Harmonic mean of speedups [Luo et al., ISPASS 2001].
+HSU = ThroughputMetric("HSU", "H", uses_reference=True)
+#: Geometric mean of speedups [Michaud, CAL 2012] (footnote 3 extension).
+GMS = ThroughputMetric("GMS", "G", uses_reference=True)
+
+#: The paper's three metrics, in paper order.
+METRICS = (IPCT, WSU, HSU)
+
+_BY_NAME: Dict[str, ThroughputMetric] = {
+    m.name: m for m in (IPCT, WSU, HSU, GMS)}
+
+
+def metric_by_name(name: str) -> ThroughputMetric:
+    """Look up a metric by its short name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {name!r}; known: {', '.join(_BY_NAME)}") from None

@@ -1,0 +1,134 @@
+"""The practical guideline of Section VII, plus its overhead model.
+
+The paper's recipe for comparing a baseline X with a new
+microarchitecture Y:
+
+1. simulate a large workload sample with a fast approximate simulator
+   (balanced random sampling, e.g. 800 workloads) and estimate cv;
+2. if cv > 10: declare the machines throughput-equivalent;
+3. if cv < 2: a few tens of random workloads suffice (W = 8 cv^2);
+   prefer balanced random sampling for such small samples;
+4. if 2 <= cv <= 10: use workload stratification -- and remember the
+   stratified sample is valid only for this (X, Y, metric) pair.
+
+Section VII-A works a CPU-hours example; :class:`OverheadModel`
+reproduces that arithmetic from simulator speeds (MIPS).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.confidence import required_sample_size
+
+
+class Recommendation(enum.Enum):
+    """Outcome of the Section VII decision procedure."""
+
+    EQUIVALENT = "declare-equivalent"
+    BALANCED_RANDOM = "balanced-random"
+    WORKLOAD_STRATIFICATION = "workload-stratification"
+
+
+@dataclass(frozen=True)
+class GuidelineDecision:
+    """The guideline's advice for one comparison.
+
+    Attributes:
+        recommendation: which route Section VII prescribes.
+        cv: the coefficient of variation the decision is based on.
+        sample_size: detailed-simulation sample size to use (None when
+            the machines are declared equivalent).
+    """
+
+    recommendation: Recommendation
+    cv: float
+    sample_size: Optional[int]
+
+
+#: Section VII thresholds on |cv|.
+EQUIVALENCE_THRESHOLD = 10.0
+RANDOM_OK_THRESHOLD = 2.0
+
+
+def recommend_method(cv: float,
+                     stratified_sample_size: int = 30) -> GuidelineDecision:
+    """Apply the Section VII decision procedure to an estimated cv.
+
+    Args:
+        cv: coefficient of variation of d(w) measured on the large
+            approximate-simulation sample (sign irrelevant).
+        stratified_sample_size: detailed sample size to use when
+            workload stratification is recommended (the paper's example
+            uses 30).
+    """
+    magnitude = abs(cv)
+    if math.isinf(magnitude) or magnitude > EQUIVALENCE_THRESHOLD:
+        return GuidelineDecision(Recommendation.EQUIVALENT, cv, None)
+    if magnitude < RANDOM_OK_THRESHOLD:
+        return GuidelineDecision(Recommendation.BALANCED_RANDOM, cv,
+                                 required_sample_size(cv))
+    return GuidelineDecision(Recommendation.WORKLOAD_STRATIFICATION, cv,
+                             stratified_sample_size)
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """CPU-hours accounting for a two-machine comparison (Section VII-A).
+
+    Attributes:
+        instructions_per_thread: simulated instructions per thread (the
+            paper uses 100e6).
+        cores: threads per workload (K).
+        benchmarks: number of benchmarks (model building cost).
+        detailed_mips: detailed-simulator speed for K cores.
+        detailed_single_mips: detailed-simulator speed, single core.
+        approx_mips: approximate-simulator speed for K cores.
+    """
+
+    instructions_per_thread: float
+    cores: int
+    benchmarks: int
+    detailed_mips: float
+    detailed_single_mips: float
+    approx_mips: float
+
+    @property
+    def _workload_instructions(self) -> float:
+        return self.instructions_per_thread * self.cores
+
+    def detailed_hours(self, workloads: int, machines: int = 2) -> float:
+        """CPU-hours of detailed simulation for a workload sample."""
+        seconds = machines * workloads * (
+            self._workload_instructions / 1e6 / self.detailed_mips)
+        return seconds / 3600.0
+
+    def model_building_hours(self, traces_per_benchmark: int = 2) -> float:
+        """CPU-hours to build approximate core models (BADCO: 2 traces)."""
+        seconds = (self.benchmarks * traces_per_benchmark
+                   * (self.instructions_per_thread / 1e6
+                      / self.detailed_single_mips))
+        return seconds / 3600.0
+
+    def approx_hours(self, workloads: int, machines: int = 2) -> float:
+        """CPU-hours of approximate simulation for a workload sample."""
+        seconds = machines * workloads * (
+            self._workload_instructions / 1e6 / self.approx_mips)
+        return seconds / 3600.0
+
+    def stratification_overhead(self, detailed_workloads: int,
+                                approx_workloads: int = 800) -> float:
+        """Extra cost of workload stratification vs detailed-only.
+
+        Returns (model building + approximate population) as a fraction
+        of the detailed-simulation cost, i.e. the "74 % extra
+        simulation" number of Section VII-A.
+        """
+        detailed = self.detailed_hours(detailed_workloads)
+        if detailed == 0:
+            raise ValueError("no detailed workloads")
+        extra = self.model_building_hours() + self.approx_hours(approx_workloads)
+        return extra / detailed

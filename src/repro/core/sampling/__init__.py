@@ -1,0 +1,52 @@
+"""Workload sampling methods (Sections III and VI of the paper).
+
+Four methods are compared in the paper, all available here behind the
+:class:`SamplingMethod` interface:
+
+- :class:`SimpleRandomSampling` -- uniform draws with replacement
+  (Section III);
+- :class:`BalancedRandomSampling` -- every benchmark occurs equally
+  often across the sample (Section VI-A);
+- :class:`BenchmarkStratification` -- strata from per-class occurrence
+  counts, e.g. the Table IV MPKI classes (Section VI-B-1);
+- :class:`WorkloadStratification` -- strata cut from the sorted d(w)
+  values measured with a fast approximate simulator (Section VI-B-2).
+
+Every method returns a :class:`WeightedSample`; stratified estimates of
+throughput use the weighted means of eq. (9) via the sample's weights.
+"""
+
+from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.sampling.simple import SimpleRandomSampling
+from repro.core.sampling.balanced import BalancedRandomSampling
+from repro.core.sampling.allocation import (
+    largest_remainder_allocation,
+    neyman_allocation,
+)
+from repro.core.sampling.benchmark_strata import (
+    BenchmarkStratification,
+    benchmark_strata,
+    stratum_size,
+)
+from repro.core.sampling.workload_strata import (
+    WorkloadStratification,
+    build_workload_strata,
+)
+
+#: Display names used across experiments, in the paper's Fig. 6 order.
+SAMPLING_METHODS = ("random", "bal-random", "bench-strata", "workload-strata")
+
+__all__ = [
+    "SamplingMethod",
+    "WeightedSample",
+    "SimpleRandomSampling",
+    "BalancedRandomSampling",
+    "BenchmarkStratification",
+    "WorkloadStratification",
+    "benchmark_strata",
+    "stratum_size",
+    "build_workload_strata",
+    "largest_remainder_allocation",
+    "neyman_allocation",
+    "SAMPLING_METHODS",
+]

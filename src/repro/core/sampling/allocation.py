@@ -1,0 +1,53 @@
+"""Sample-size allocation across strata.
+
+Given stratum sizes (and optionally stratum standard deviations), decide
+how many of the W sample slots each stratum receives.  Proportional
+allocation is the paper's implicit choice; Neyman allocation (optimal
+for a fixed W when within-stratum variances differ) is provided as an
+extension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def largest_remainder_allocation(shares: Sequence[float], total: int) -> List[int]:
+    """Integer allocation of ``total`` slots proportional to ``shares``.
+
+    Uses the largest-remainder (Hamilton) method: floor everything, then
+    hand the leftover slots to the largest fractional remainders.  When
+    ``total`` is smaller than the number of strata, small-share strata
+    receive zero slots.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    weight_sum = sum(shares)
+    if weight_sum <= 0:
+        raise ValueError("shares must sum to a positive value")
+    quotas = [s / weight_sum * total for s in shares]
+    counts = [int(q) for q in quotas]
+    leftover = total - sum(counts)
+    remainders = sorted(range(len(shares)),
+                        key=lambda i: (quotas[i] - counts[i], shares[i]),
+                        reverse=True)
+    for i in remainders[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+def neyman_allocation(sizes: Sequence[int], stds: Sequence[float],
+                      total: int) -> List[int]:
+    """Neyman allocation: slots proportional to N_h * sigma_h.
+
+    Minimises the variance of the stratified estimator for a fixed
+    total sample size [Cochran, Sampling Techniques].  Falls back to
+    proportional behaviour when all sigma_h are equal.
+    """
+    if len(sizes) != len(stds):
+        raise ValueError("sizes and stds must align")
+    products = [n * s for n, s in zip(sizes, stds)]
+    if sum(products) <= 0:
+        # Degenerate: all strata internally constant; allocate by size.
+        return largest_remainder_allocation([float(n) for n in sizes], total)
+    return largest_remainder_allocation(products, total)

@@ -1,0 +1,61 @@
+"""Balanced random sampling (Section VI-A).
+
+In the full workload population every benchmark occurs the same number
+of times -- consistent with all benchmarks being equally important.
+Balanced random sampling preserves that property inside the sample:
+across the W workloads (W x K benchmark slots), every benchmark occurs
+equally often (up to rounding when B does not divide W*K).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.population import WorkloadPopulation
+from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.workload import Workload
+
+
+class BalancedRandomSampling(SamplingMethod):
+    """Random workloads with equalised per-benchmark occurrence counts.
+
+    Construction: build the multiset of W*K benchmark slots containing
+    each benchmark floor(W*K/B) or ceil(W*K/B) times (the extra slots
+    going to a random subset of benchmarks), shuffle it, and cut it
+    into W workloads of K.  Every benchmark then occurs the same number
+    of times over the whole sample while workload composition stays
+    random.
+    """
+
+    name = "bal-random"
+
+    def sample(self, population: WorkloadPopulation, size: int,
+               rng: random.Random) -> WeightedSample:
+        """Draw a balanced sample.
+
+        Requires an exhaustive population: the constructed workloads
+        are arbitrary combinations, which a sub-sampled frame may not
+        contain.  The paper hits the same restriction (footnote 6: its
+        balanced-sample construction "works with the full workload
+        population").
+        """
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        if not population.is_exhaustive:
+            raise ValueError(
+                "balanced random sampling needs the exhaustive workload "
+                "population; this frame is a subsample (paper footnote 6)")
+        benchmarks = list(population.benchmarks)
+        cores = population.cores
+        slots = size * cores
+        base, extra = divmod(slots, len(benchmarks))
+        pool: List[str] = []
+        for name in benchmarks:
+            pool.extend([name] * base)
+        if extra:
+            pool.extend(rng.sample(benchmarks, extra))
+        rng.shuffle(pool)
+        picks = [Workload(pool[i * cores:(i + 1) * cores])
+                 for i in range(size)]
+        return WeightedSample.uniform(picks)

@@ -1,0 +1,80 @@
+"""Sampling method interface and the weighted-sample container."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.population import WorkloadPopulation
+from repro.core.workload import Workload
+
+
+@dataclass(frozen=True)
+class WeightedSample:
+    """A sample of workloads with estimation weights.
+
+    Attributes:
+        workloads: the selected workloads (duplicates allowed -- simple
+            random sampling draws with replacement).
+        weights: per-workload weights, summing to 1.  Uniform for the
+            random methods; equal to (N_h / N) / W_h for a workload of
+            stratum h under stratified sampling, which makes a weighted
+            mean over the sample equal to the stratified estimator of
+            the paper's eq. (9).
+    """
+
+    workloads: Sequence[Workload]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.workloads) != len(self.weights):
+            raise ValueError("one weight per workload required")
+        if not self.workloads:
+            raise ValueError("empty sample")
+        total = sum(self.weights)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights sum to {total}, expected 1")
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    @staticmethod
+    def uniform(workloads: Sequence[Workload]) -> "WeightedSample":
+        """A sample where every workload weighs the same."""
+        n = len(workloads)
+        return WeightedSample(tuple(workloads), tuple([1.0 / n] * n))
+
+    def weighted_mean(self, values: Sequence[float]) -> float:
+        """Weighted A-mean of per-workload values (e.g. d(w)).
+
+        For every metric family the decision statistic D of Section III
+        is the (weighted) arithmetic mean of the corresponding d(w), so
+        this is the one reduction the estimators need.
+        """
+        if len(values) != len(self.workloads):
+            raise ValueError("one value per workload required")
+        return sum(v * w for v, w in zip(values, self.weights))
+
+
+class SamplingMethod:
+    """Interface: draw a weighted workload sample from a population."""
+
+    #: Display name, matching the labels of the paper's Fig. 6.
+    name = "?"
+
+    def sample(self, population: WorkloadPopulation, size: int,
+               rng: random.Random) -> WeightedSample:
+        """Draw a sample of ``size`` workloads.
+
+        Args:
+            population: the workload population (or the large
+                approximate-simulation sample standing in for it).
+            size: W, the number of workloads to select.
+            rng: source of randomness; passing the same seeded RNG
+                reproduces the same sample.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

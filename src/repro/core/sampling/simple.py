@@ -1,0 +1,28 @@
+"""Simple random sampling (Section III)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.population import WorkloadPopulation
+from repro.core.sampling.base import SamplingMethod, WeightedSample
+
+
+class SimpleRandomSampling(SamplingMethod):
+    """Uniform random selection of workloads, with replacement.
+
+    The paper's baseline: "random sampling ... assumes that all the
+    workloads have the same probability of being selected and that the
+    same workload might be selected multiple times (though unlikely in
+    a small sample)".
+    """
+
+    name = "random"
+
+    def sample(self, population: WorkloadPopulation, size: int,
+               rng: random.Random) -> WeightedSample:
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        picks = [population[rng.randrange(len(population))]
+                 for _ in range(size)]
+        return WeightedSample.uniform(picks)

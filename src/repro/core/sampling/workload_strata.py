@@ -1,0 +1,175 @@
+"""Workload stratification (Section VI-B-2).
+
+The paper's key proposal: use a fast approximate simulator to measure
+d(w) for *every* workload of a large sample, then build strata directly
+from those values:
+
+1. measure d(w) for every workload;
+2. sort workloads by d(w);
+3. walk in ascending order, accumulating a stratum;
+4. when the stratum has at least W_T workloads and its standard
+   deviation exceeds T_SD, close it and start a new one.
+
+The strata are contiguous d(w) ranges, internally homogeneous, so a
+small per-stratum sample gives a precise stratified estimate.  The
+paper stresses the resulting sample is valid only for the specific
+(X, Y, metric) pair whose d(w) built the strata -- which this class
+enforces by construction, being built *from* a d(w) table.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.population import WorkloadPopulation
+from repro.core.sampling.allocation import largest_remainder_allocation
+from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.workload import Workload
+
+#: Paper defaults for the stratification parameters (Section VI-B-2).
+#: The paper uses an absolute T_SD = 0.001 for its d(w) value scale; we
+#: default to an *adaptive* threshold (a fraction of the population's
+#: d(w) standard deviation) so the algorithm transfers across metrics
+#: and machines whose d(w) live on different scales.
+DEFAULT_MIN_STRATUM = 50
+DEFAULT_SD_THRESHOLD = 0.001
+ADAPTIVE_SD_FRACTION = 0.05
+
+
+def build_workload_strata(delta: Mapping[Workload, float],
+                          min_stratum: int = DEFAULT_MIN_STRATUM,
+                          sd_threshold: Optional[float] = None,
+                          ) -> List[List[Workload]]:
+    """Cut the d(w)-sorted workload list into strata (paper algorithm).
+
+    Args:
+        delta: d(w) for every workload of the large sample.
+        min_stratum: W_T, the minimum stratum size.
+        sd_threshold: T_SD, the standard-deviation threshold that
+            triggers a new stratum.  ``None`` (default) adapts it to
+            ``ADAPTIVE_SD_FRACTION`` of the population's d(w) standard
+            deviation, which matches the paper's intent (internally
+            homogeneous strata) regardless of the metric's value scale.
+
+    Returns:
+        The strata as lists of workloads, in ascending d(w) order.
+    """
+    if not delta:
+        raise ValueError("empty d(w) table")
+    if min_stratum < 1:
+        raise ValueError("min_stratum must be >= 1")
+    if sd_threshold is None:
+        values = list(delta.values())
+        mean = sum(values) / len(values)
+        population_std = math.sqrt(
+            sum((v - mean) ** 2 for v in values) / len(values))
+        sd_threshold = ADAPTIVE_SD_FRACTION * population_std
+    ordered = sorted(delta, key=lambda w: delta[w])
+    strata: List[List[Workload]] = []
+    current: List[Workload] = []
+    # Incremental mean/variance (Welford) for the open stratum.
+    mean = 0.0
+    m2 = 0.0
+    for workload in ordered:
+        value = delta[workload]
+        current.append(workload)
+        n = len(current)
+        diff = value - mean
+        mean += diff / n
+        m2 += diff * (value - mean)
+        std = math.sqrt(m2 / n)
+        if n >= min_stratum and std > sd_threshold:
+            strata.append(current)
+            current = []
+            mean = 0.0
+            m2 = 0.0
+    if current:
+        strata.append(current)
+    return strata
+
+
+class WorkloadStratification(SamplingMethod):
+    """Stratified sampling over d(w)-derived workload strata.
+
+    Args:
+        delta: d(w) for every workload of the population / large sample
+            (measured with the approximate simulator).
+        min_stratum: W_T (default 50, the paper's value).
+        sd_threshold: T_SD (None = adaptive; see
+            :func:`build_workload_strata`).
+    """
+
+    name = "workload-strata"
+
+    def __init__(self, delta: Mapping[Workload, float],
+                 min_stratum: int = DEFAULT_MIN_STRATUM,
+                 sd_threshold: Optional[float] = None) -> None:
+        self.strata = build_workload_strata(delta, min_stratum, sd_threshold)
+        self._total = sum(len(s) for s in self.strata)
+
+    @property
+    def num_strata(self) -> int:
+        return len(self.strata)
+
+    def _strata_for_size(self, size: int) -> List[List[Workload]]:
+        """The strata, merged down to at most ``size`` groups.
+
+        When the requested sample is smaller than the number of strata,
+        dropping strata would bias the estimate (the tails of the d(w)
+        distribution live in small strata).  Since strata are contiguous
+        d(w) ranges, merging *adjacent* strata preserves homogeneity as
+        well as possible while guaranteeing every group one slot.
+        """
+        if size >= len(self.strata):
+            return self.strata
+        merged: List[List[Workload]] = []
+        target = self._total / size
+        current: List[Workload] = []
+        remaining_groups = size
+        for stratum in self.strata:
+            current = current + stratum
+            if (len(current) >= target
+                    and len(merged) < size - 1):
+                merged.append(current)
+                current = []
+        if current:
+            merged.append(current)
+        return merged
+
+    def sample(self, population: WorkloadPopulation, size: int,
+               rng: random.Random) -> WeightedSample:
+        """Draw W workloads across the strata (proportional allocation).
+
+        ``population`` is accepted for interface compatibility; the
+        strata themselves define the sampling frame (they were built
+        from the population's d(w) table).
+        """
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        strata = self._strata_for_size(size)
+        sizes = [len(s) for s in strata]
+        # Every stratum gets one guaranteed slot (omitting a stratum
+        # biases the estimate -- the d(w) tails live in small strata);
+        # the remaining slots are distributed proportionally to size.
+        extra = largest_remainder_allocation(
+            [float(s) for s in sizes], size - len(strata))
+        allocation = [1 + e for e in extra]
+        workloads: List[Workload] = []
+        weights: List[float] = []
+        for stratum, n_h, w_h in zip(strata, sizes, allocation):
+            if w_h == 0:
+                continue
+            weight = (n_h / self._total) / w_h
+            # Without replacement inside a stratum when possible.
+            if w_h <= n_h:
+                picks = rng.sample(stratum, w_h)
+            else:
+                picks = [stratum[rng.randrange(n_h)] for _ in range(w_h)]
+            for workload in picks:
+                workloads.append(workload)
+                weights.append(weight)
+        scale = sum(weights)
+        weights = [w / scale for w in weights]
+        return WeightedSample(tuple(workloads), tuple(weights))

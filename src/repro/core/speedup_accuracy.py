@@ -1,0 +1,110 @@
+"""Speedup-accuracy evaluation (extension: the paper's open problem).
+
+The paper's conclusion: "the problem of defining workload samples that
+provide accurate *speedups* with high probability is still open".  The
+machinery to study it is all here, so we implement it: for a sampling
+method and sample size, measure the probability that the
+sample-estimated speedup
+
+    S_hat = T_Y(sample) / T_X(sample)
+
+falls within a relative tolerance epsilon of the population speedup
+S = T_Y / T_X.  Note this is a harder target than the paper's sign
+question: a method can identify the winner long before it pins the
+speedup down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.metrics import ReferenceIpcs, ThroughputMetric
+from repro.core.population import WorkloadPopulation
+from repro.core.sampling.base import SamplingMethod
+from repro.core.workload import Workload
+
+IpcTable = Mapping[Workload, Sequence[float]]
+
+
+@dataclass(frozen=True)
+class SpeedupAccuracy:
+    """Result of one (method, sample size) evaluation.
+
+    Attributes:
+        method: sampling method name.
+        sample_size: W.
+        true_speedup: S on the full population.
+        hit_rate: fraction of samples with |S_hat - S| / S <= epsilon.
+        mean_abs_error: mean relative speedup error over the samples.
+    """
+
+    method: str
+    sample_size: int
+    true_speedup: float
+    hit_rate: float
+    mean_abs_error: float
+
+
+class SpeedupAccuracyEvaluator:
+    """Monte-Carlo speedup-accuracy measurement.
+
+    Args:
+        population: the workload population.
+        ipcs_x / ipcs_y: per-workload per-core IPC tables.
+        metric: throughput metric whose population speedup is targeted.
+        reference: single-thread reference IPCs (WSU/HSU/GMS).
+        draws: samples per evaluation point.
+    """
+
+    def __init__(self, population: WorkloadPopulation, ipcs_x: IpcTable,
+                 ipcs_y: IpcTable, metric: ThroughputMetric,
+                 reference: Optional[ReferenceIpcs] = None,
+                 draws: int = 500) -> None:
+        self.population = population
+        self.metric = metric
+        self.draws = draws
+        self._tx: Dict[Workload, float] = {}
+        self._ty: Dict[Workload, float] = {}
+        for workload in population:
+            self._tx[workload] = metric.workload_throughput(
+                ipcs_x[workload], workload.benchmarks, reference)
+            self._ty[workload] = metric.workload_throughput(
+                ipcs_y[workload], workload.benchmarks, reference)
+        population_x = metric.sample_throughput(
+            [self._tx[w] for w in population])
+        population_y = metric.sample_throughput(
+            [self._ty[w] for w in population])
+        self.true_speedup = population_y / population_x
+
+    def _sample_speedup(self, workloads: Sequence[Workload],
+                        weights: Sequence[float]) -> float:
+        tx = self.metric.sample_throughput(
+            [self._tx[w] for w in workloads], weights)
+        ty = self.metric.sample_throughput(
+            [self._ty[w] for w in workloads], weights)
+        return ty / tx
+
+    def evaluate(self, method: SamplingMethod, sample_size: int,
+                 epsilon: float = 0.01, seed: int = 0) -> SpeedupAccuracy:
+        """P(relative speedup error <= epsilon) at one sample size."""
+        rng = random.Random((seed << 16) ^ sample_size)
+        hits = 0
+        errors: List[float] = []
+        for _ in range(self.draws):
+            sample = method.sample(self.population, sample_size, rng)
+            estimate = self._sample_speedup(sample.workloads, sample.weights)
+            error = abs(estimate - self.true_speedup) / self.true_speedup
+            errors.append(error)
+            if error <= epsilon:
+                hits += 1
+        return SpeedupAccuracy(
+            method=method.name, sample_size=sample_size,
+            true_speedup=self.true_speedup, hit_rate=hits / self.draws,
+            mean_abs_error=sum(errors) / len(errors))
+
+    def curve(self, method: SamplingMethod, sample_sizes: Sequence[int],
+              epsilon: float = 0.01, seed: int = 0) -> List[SpeedupAccuracy]:
+        return [self.evaluate(method, size, epsilon, seed)
+                for size in sample_sizes]

@@ -1,0 +1,81 @@
+"""Workloads: combinations of benchmarks, one per logical core.
+
+The paper: "We call workload a combination of K benchmarks, K being the
+number of logical cores."  Cores are identical and interchangeable and a
+benchmark may be replicated, so a workload is a *multiset* of K
+benchmark names.  :class:`Workload` canonicalises to sorted order, which
+makes equal multisets compare and hash equal regardless of how they
+were built.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Sequence, Tuple
+
+
+class Workload:
+    """An immutable multiset of K benchmark names.
+
+    Args:
+        benchmarks: one benchmark name per core, in any order.
+
+    Examples:
+        >>> Workload(["mcf", "gcc"]) == Workload(["gcc", "mcf"])
+        True
+        >>> Workload(["gcc", "gcc"]).k
+        2
+    """
+
+    __slots__ = ("_benchmarks",)
+
+    def __init__(self, benchmarks: Sequence[str]) -> None:
+        if not benchmarks:
+            raise ValueError("a workload needs at least one benchmark")
+        self._benchmarks: Tuple[str, ...] = tuple(sorted(benchmarks))
+
+    @property
+    def benchmarks(self) -> Tuple[str, ...]:
+        """The benchmark names, canonically sorted."""
+        return self._benchmarks
+
+    @property
+    def k(self) -> int:
+        """Number of cores this workload occupies."""
+        return len(self._benchmarks)
+
+    def counts(self) -> Dict[str, int]:
+        """Occurrences of each benchmark in the workload."""
+        return dict(Counter(self._benchmarks))
+
+    def key(self) -> str:
+        """Stable string key, usable in JSON dictionaries."""
+        return "+".join(self._benchmarks)
+
+    @staticmethod
+    def from_key(key: str) -> "Workload":
+        """Inverse of :meth:`key`."""
+        return Workload(key.split("+"))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._benchmarks)
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __getitem__(self, index: int) -> str:
+        return self._benchmarks[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return self._benchmarks == other._benchmarks
+
+    def __hash__(self) -> int:
+        return hash(self._benchmarks)
+
+    def __lt__(self, other: "Workload") -> bool:
+        return self._benchmarks < other._benchmarks
+
+    def __repr__(self) -> str:
+        return f"Workload({list(self._benchmarks)!r})"

@@ -1,0 +1,27 @@
+"""Detailed out-of-order core model (the repo's "Zesto").
+
+The paper's detailed simulator is Zesto, a cycle-level x86 model.  This
+package provides our equivalent ground-truth core: an out-of-order
+superscalar timing model with the Table I resources (4-wide fetch,
+6-wide issue, 4-wide commit, 128-entry ROB, 36-entry RS, 36/24 load/
+store queues), a TAGE-style branch predictor with BTB and return-address
+stack, private IL1/DL1 caches with next-line and IP-stride prefetchers,
+and ITLB/DTLB -- all driving a shared uncore.
+
+It is *detailed* relative to BADCO (``repro.sim.badco``): it models
+every uop's flow through fetch, dispatch, issue, execution and commit,
+where BADCO replays a behavioural node graph.
+"""
+
+from repro.cpu.branch import BranchPredictor, TageLitePredictor
+from repro.cpu.resources import CoreConfig, default_core_config
+from repro.cpu.core import CoreResult, DetailedCore
+
+__all__ = [
+    "BranchPredictor",
+    "TageLitePredictor",
+    "CoreConfig",
+    "default_core_config",
+    "CoreResult",
+    "DetailedCore",
+]

@@ -1,0 +1,288 @@
+"""The detailed out-of-order core timing model.
+
+``DetailedCore`` replays a benchmark trace through an out-of-order
+superscalar pipeline model.  Rather than simulating every structure
+cycle by cycle, each uop's fetch, dispatch, issue, completion and commit
+times are computed in program order from:
+
+- *dataflow*: a uop issues no earlier than its register producers
+  complete (producer positions come from the trace's dependency
+  distances);
+- *bandwidth*: fetch, issue and commit advance fractional slot pointers
+  of 1/width per uop, modelling the per-cycle width limits;
+- *occupancy*: a uop cannot dispatch until the uop ``ROB`` entries ahead
+  of it has committed (likewise RS vs issue, LDQ/STQ vs load/store
+  completion);
+- *memory*: loads access DTLB and DL1 at issue; DL1 misses go to the
+  shared uncore, so multicore contention feeds back into timing;
+- *control*: mispredicted branches (TAGE-lite + BTB) stall fetch until
+  resolution plus a redirect penalty.
+
+This event-ordered formulation is what makes a pure-Python "detailed"
+simulator feasible; it remains far slower and far more detailed than
+the BADCO behavioural model, which is the relationship the paper's
+methodology needs.
+
+Cores expose a *stepper* interface (:meth:`advance`): the multicore
+simulator interleaves cores in global time order so that shared-LLC and
+bus contention are resolved consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.bench.trace import Trace, Uop, UopKind
+from repro.cpu.branch import BranchTargetBuffer, TageLitePredictor
+from repro.cpu.resources import CoreConfig
+from repro.mem.cache import Cache
+from repro.mem.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.mem.replacement import make_policy
+from repro.mem.tlb import Tlb
+
+#: Uncore access callback:
+#: (address, now, is_write, pc, is_prefetch) -> completion time.
+UncoreAccess = Callable[[int, int, bool, int, bool], int]
+
+
+@dataclass
+class CoreResult:
+    """Summary of one core's execution of (part of) a trace."""
+
+    instructions: int
+    cycles: int
+    dl1_misses: int
+    il1_misses: int
+    branch_mispredicts: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class DetailedCore:
+    """Out-of-order core executing one trace against an uncore.
+
+    Args:
+        core_id: index of this core (passed through to the uncore).
+        config: Table I resources.
+        trace: the benchmark trace to execute.
+        uncore_access: callback serving L1 misses.
+        start_time: global cycle at which this core begins.
+    """
+
+    def __init__(self, core_id: int, config: CoreConfig, trace: Trace,
+                 uncore_access: UncoreAccess, start_time: int = 0) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self._uncore_access = uncore_access
+
+        self.predictor = TageLitePredictor()
+        self.btb = BranchTargetBuffer()
+        self.il1 = Cache(config.il1,
+                         make_policy("LRU", config.il1.num_sets, config.il1.ways),
+                         next_level=self._il1_next_level)
+        self.dl1 = Cache(config.dl1,
+                         make_policy("LRU", config.dl1.num_sets, config.dl1.ways),
+                         next_level=self._dl1_next_level)
+        self.il1_prefetcher = NextLinePrefetcher(self.il1)
+        self.dl1_stride_prefetcher = StridePrefetcher(self.dl1)
+        self.dl1_nextline_prefetcher = NextLinePrefetcher(self.dl1)
+        self.itlb = Tlb(config.itlb)
+        self.dtlb = Tlb(config.dtlb)
+
+        # Pipeline pointers (absolute cycles; fractional for bandwidth).
+        self._fetch_slot = float(start_time)
+        self._issue_slot = float(start_time)
+        self._commit_slot = float(start_time)
+        self._redirect_floor = float(start_time)
+        self._last_commit = float(start_time)
+        self._last_fetch_line = -1
+        self._il1_ready = float(start_time)
+
+        # Ring buffers of per-uop times for dependency/occupancy lookups.
+        window = max(config.rob_entries, 64) + 1
+        self._complete_ring: List[float] = [start_time] * window
+        self._commit_ring: List[float] = [start_time] * window
+        self._window = window
+        rs_window = config.rs_entries
+        self._issue_ring: List[float] = [start_time] * rs_window
+        self._load_ring: List[float] = [start_time] * config.ldq_entries
+        self._store_ring: List[float] = [start_time] * config.stq_entries
+
+        self.position = 0           # next uop index in the trace
+        self.executed = 0           # dynamic uops executed (incl. restarts)
+        self.branch_mispredicts = 0
+        self.start_time = start_time
+        self._loads_seen = 0
+        self._stores_seen = 0
+        # The pc observed during fetch, for prefetcher training context.
+        self._current_pc = 0
+
+    # ------------------------------------------------------------------
+    # L1 next-level hooks: route to the shared uncore.
+
+    def _il1_next_level(self, address: int, now: int, is_write: bool,
+                        is_prefetch: bool = False) -> int:
+        return self._uncore_access(address, int(now), is_write,
+                                   self._current_pc, is_prefetch)
+
+    def _dl1_next_level(self, address: int, now: int, is_write: bool,
+                        is_prefetch: bool = False) -> int:
+        return self._uncore_access(address, int(now), is_write,
+                                   self._current_pc, is_prefetch)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def local_time(self) -> float:
+        """Current frontier of this core (last commit time)."""
+        return self._last_commit
+
+    @property
+    def done(self) -> bool:
+        """True when the whole trace has been executed once."""
+        return self.position >= len(self.trace)
+
+    def restart(self) -> None:
+        """Rewind the trace (multiprogram restart semantics).
+
+        Microarchitectural state (caches, predictor) is deliberately
+        kept: the paper restarts a finished thread "as many times as
+        necessary" on a warm machine.
+        """
+        self.position = 0
+
+    def advance(self) -> float:
+        """Execute the next uop; returns the core's new local time."""
+        uop = self.trace[self.position]
+        self.position += 1
+        index = self.executed
+        self.executed += 1
+        self._execute_uop(uop, index)
+        return self._last_commit
+
+    # ------------------------------------------------------------------
+
+    def _execute_uop(self, uop: Uop, index: int) -> None:
+        config = self.config
+        self._current_pc = uop.pc
+
+        # ---- Fetch: width limit, redirects, IL1/ITLB.
+        fetch = self._fetch_slot + 1.0 / config.fetch_width
+        if fetch < self._redirect_floor:
+            fetch = self._redirect_floor
+        line = uop.pc >> 6
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            now = int(fetch)
+            itlb_penalty = self.itlb.lookup(uop.pc)
+            before = self.il1.stats.demand_misses
+            il1_done = self.il1.access(uop.pc, now + itlb_penalty)
+            self.il1_prefetcher.observe(uop.pc, uop.pc, now,
+                                        self.il1.stats.demand_misses > before)
+            # Hit latency is pipelined away; only the cycles beyond a
+            # hit (misses, in-flight fills, TLB walks) stall fetch.
+            stall = (il1_done - now) - self.config.il1.latency + itlb_penalty
+            self._il1_ready = fetch + stall if stall > 0 else 0.0
+        if fetch < self._il1_ready:
+            fetch = self._il1_ready
+        self._fetch_slot = fetch
+
+        # ---- Dispatch: decode latency + ROB/RS/LDQ/STQ occupancy.
+        dispatch = fetch + config.decode_latency
+        rob_free = self._commit_ring[(index - config.rob_entries) % self._window] \
+            if index >= config.rob_entries else None
+        if rob_free is not None and dispatch < rob_free:
+            dispatch = rob_free
+        rs_free = self._issue_ring[index % config.rs_entries] \
+            if index >= config.rs_entries else None
+        if rs_free is not None and dispatch < rs_free:
+            dispatch = rs_free
+        if uop.kind == UopKind.LOAD:
+            if self._loads_seen >= config.ldq_entries:
+                ldq_free = self._load_ring[self._loads_seen % config.ldq_entries]
+                if dispatch < ldq_free:
+                    dispatch = ldq_free
+        elif uop.kind == UopKind.STORE:
+            if self._stores_seen >= config.stq_entries:
+                stq_free = self._store_ring[self._stores_seen % config.stq_entries]
+                if dispatch < stq_free:
+                    dispatch = stq_free
+
+        # ---- Issue: dataflow readiness + issue bandwidth.
+        ready = dispatch
+        for distance in uop.src_distances:
+            producer = index - distance
+            if producer >= 0:
+                produced = self._complete_ring[producer % self._window]
+                if produced > ready:
+                    ready = produced
+        issue = ready
+        if issue < self._issue_slot:
+            issue = self._issue_slot
+        self._issue_slot = issue + 1.0 / config.issue_width
+        self._issue_ring[index % config.rs_entries] = issue
+
+        # ---- Execute.
+        complete = issue + uop.latency
+        if uop.kind == UopKind.LOAD:
+            now = int(issue) + 1
+            dtlb_penalty = self.dtlb.lookup(uop.address)
+            before = self.dl1.stats.demand_misses
+            dl1_done = self.dl1.access(uop.address, now + dtlb_penalty)
+            was_miss = self.dl1.stats.demand_misses > before
+            self.dl1_stride_prefetcher.observe(uop.pc, uop.address, now, was_miss)
+            if was_miss:
+                self.dl1_nextline_prefetcher.observe(uop.pc, uop.address, now, True)
+            complete = float(dl1_done) + dtlb_penalty
+            self._load_ring[self._loads_seen % config.ldq_entries] = complete
+            self._loads_seen += 1
+        elif uop.kind == UopKind.STORE:
+            # Stores complete fast (data written at commit through the
+            # write buffer); the cache state update happens now.
+            dtlb_penalty = self.dtlb.lookup(uop.address)
+            self.dl1.access(uop.address, int(issue) + 1 + dtlb_penalty,
+                            is_write=True)
+            complete = issue + 1 + dtlb_penalty
+            self._store_ring[self._stores_seen % config.stq_entries] = complete
+            self._stores_seen += 1
+        elif uop.kind == UopKind.BRANCH:
+            correct_direction = self.predictor.predict_and_update(uop.pc, uop.taken)
+            correct_target = True
+            if uop.taken:
+                correct_target = self.btb.lookup(uop.pc, uop.target or 0)
+            if not correct_direction or not correct_target:
+                self.branch_mispredicts += 1
+                resolve = complete
+                self._redirect_floor = resolve + config.mispredict_penalty
+        self._complete_ring[index % self._window] = complete
+
+        # ---- Commit: in order, width-limited.
+        commit = complete
+        if commit < self._last_commit:
+            commit = self._last_commit
+        if commit < self._commit_slot:
+            commit = self._commit_slot
+        self._commit_slot = commit + 1.0 / config.commit_width
+        self._commit_ring[index % self._window] = commit
+        self._last_commit = commit
+
+    # ------------------------------------------------------------------
+
+    def result(self) -> CoreResult:
+        """Counters for everything executed so far."""
+        cycles = int(self._last_commit - self.start_time)
+        return CoreResult(
+            instructions=self.executed,
+            cycles=max(cycles, 1),
+            dl1_misses=self.dl1.stats.demand_misses,
+            il1_misses=self.il1.stats.demand_misses,
+            branch_mispredicts=self.branch_mispredicts,
+        )

@@ -1,0 +1,55 @@
+"""Core configuration: the paper's Table I, capacity-scaled caches.
+
+Pipeline widths, queue depths and latencies follow Table I exactly.
+Cache and TLB *capacities* are scaled down 4x-8x (IL1/DL1 8 kB, TLBs
+128/32 entries) consistently with the 16x LLC scaling in
+``repro.mem.uncore``, because the synthetic traces are thousands of
+uops, not 100 M instructions.  Latencies are kept at the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import CacheConfig
+from repro.mem.tlb import TlbConfig
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """All parameters of one detailed core.
+
+    Attributes mirror Table I of the paper:
+
+    - decode/issue/commit widths 4/6/4;
+    - RS/LDQ/STQ/ROB 36/36/24/128;
+    - IL1 4-way / DL1 8-way, 2-cycle, 64-byte lines, next-line (IL1)
+      and IP-stride + next-line (DL1) prefetchers;
+    - TAGE branch predictor with BTAC and RAS.
+    """
+
+    fetch_width: int = 4
+    issue_width: int = 6
+    commit_width: int = 4
+    decode_latency: int = 3
+    rob_entries: int = 128
+    rs_entries: int = 36
+    ldq_entries: int = 36
+    stq_entries: int = 24
+    mispredict_penalty: int = 12
+    il1: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="IL1", size_bytes=8 * KB, ways=4, latency=2, mshr_entries=8))
+    dl1: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="DL1", size_bytes=8 * KB, ways=8, latency=2, mshr_entries=16))
+    itlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        name="ITLB", entries=32, ways=4, latency=2))
+    dtlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        name="DTLB", entries=128, ways=4, latency=2))
+    clock_ghz: float = 3.0
+
+
+def default_core_config() -> CoreConfig:
+    """The Table I core configuration."""
+    return CoreConfig()

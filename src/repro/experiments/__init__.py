@@ -1,0 +1,19 @@
+"""Experiment drivers: one per table / figure of the paper.
+
+Each driver module exposes a ``run(scale, ...)`` function returning a
+structured result object with the same rows / series the paper reports,
+plus a ``main()`` that prints it.  The benchmark harness under
+``benchmarks/`` calls these drivers; ``EXPERIMENTS.md`` records
+paper-vs-measured values.
+
+Shared infrastructure (scales, campaign caching, the policy list) lives
+in :mod:`repro.experiments.common`.
+"""
+
+from repro.experiments.common import (
+    ExperimentContext,
+    POLICY_PAIRS,
+    Scale,
+)
+
+__all__ = ["ExperimentContext", "POLICY_PAIRS", "Scale"]

@@ -1,0 +1,50 @@
+"""Figure 1: degree of confidence vs (1/cv) * sqrt(W/2).
+
+Pure analytics: the curve conf(x) = (1 + erf(x)) / 2 of eq. (5),
+saturating near |x| = 2 -- the observation behind the W = 8 cv^2 rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.confidence import confidence_model_curve
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """The Fig. 1 series plus its saturation diagnostics."""
+
+    points: List[Tuple[float, float]]
+    saturation_low: float    # conf at x = -2
+    saturation_high: float   # conf at x = +2
+
+    def rows(self) -> List[str]:
+        lines = [f"{'x':>6}  {'confidence':>10}"]
+        for x, conf in self.points:
+            lines.append(f"{x:6.2f}  {conf:10.4f}")
+        return lines
+
+
+def run(steps: int = 33) -> Fig1Result:
+    """Compute the Fig. 1 curve over x in [-2, 2]."""
+    xs = [-2.0 + 4.0 * i / (steps - 1) for i in range(steps)]
+    points = confidence_model_curve(xs)
+    by_x = dict(points)
+    return Fig1Result(points=points,
+                      saturation_low=by_x[-2.0],
+                      saturation_high=by_x[2.0])
+
+
+def main() -> None:
+    result = run()
+    print("Figure 1: confidence as a function of (1/cv) sqrt(W/2)")
+    for row in result.rows():
+        print(row)
+    print(f"saturation: conf(-2) = {result.saturation_low:.4f}, "
+          f"conf(+2) = {result.saturation_high:.4f}")
+
+
+if __name__ == "__main__":
+    main()

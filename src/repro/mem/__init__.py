@@ -1,0 +1,30 @@
+"""Memory-hierarchy substrate.
+
+Implements everything between the core models and DRAM: set-associative
+write-back caches with pluggable replacement policies (the paper's case
+study compares LRU, RANDOM, FIFO, DIP and DRRIP at the shared LLC),
+MSHRs, hardware prefetchers (next-line, IP-stride, stream), TLBs, a
+front-side-bus bandwidth model and a fixed-latency DRAM, plus the
+assembled per-core-count uncore configurations of the paper's Table II
+(scaled down to match the synthetic traces -- see ``repro.mem.uncore``).
+"""
+
+from repro.mem.cache import Cache, CacheConfig, CacheStats
+from repro.mem.replacement import (
+    POLICY_NAMES,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.mem.uncore import Uncore, UncoreConfig, uncore_config_for_cores
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "POLICY_NAMES",
+    "ReplacementPolicy",
+    "make_policy",
+    "Uncore",
+    "UncoreConfig",
+    "uncore_config_for_cores",
+]

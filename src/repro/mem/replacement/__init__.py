@@ -1,0 +1,81 @@
+"""Cache replacement policies.
+
+The paper's case study compares five shared-LLC replacement policies:
+LRU, RANDOM, FIFO, DIP [Qureshi et al., ISCA 2007] and DRRIP [Jaleel et
+al., ISCA 2010].  This package implements all five, the building blocks
+they are made of (LIP, BIP, SRRIP, BRRIP, set dueling) and an NRU
+extension, behind a single :class:`ReplacementPolicy` interface.
+"""
+
+from repro.mem.replacement.base import ReplacementPolicy, SetDuelingMonitor
+from repro.mem.replacement.lru import LruPolicy, LipPolicy, BipPolicy
+from repro.mem.replacement.fifo import FifoPolicy
+from repro.mem.replacement.random_policy import RandomPolicy
+from repro.mem.replacement.nru import NruPolicy
+from repro.mem.replacement.dip import DipPolicy
+from repro.mem.replacement.rrip import SrripPolicy, BrripPolicy, DrripPolicy
+from repro.mem.replacement.plru import TreePlruPolicy
+from repro.mem.replacement.ship import ShipPolicy
+
+#: Registry of constructable policies by canonical name.
+_REGISTRY = {
+    "LRU": LruPolicy,
+    "RND": RandomPolicy,
+    "FIFO": FifoPolicy,
+    "DIP": DipPolicy,
+    "DRRIP": DrripPolicy,
+    "LIP": LipPolicy,
+    "BIP": BipPolicy,
+    "NRU": NruPolicy,
+    "SRRIP": SrripPolicy,
+    "BRRIP": BrripPolicy,
+    "PLRU": TreePlruPolicy,
+    "SHIP": ShipPolicy,
+}
+
+#: The five policies of the paper's case study, in paper order.
+POLICY_NAMES = ("LRU", "RND", "FIFO", "DIP", "DRRIP")
+
+
+def make_policy(name: str, num_sets: int, ways: int,
+                seed: int = 0) -> ReplacementPolicy:
+    """Construct a replacement policy by name.
+
+    Args:
+        name: one of the registry names (case-insensitive).
+        num_sets: number of cache sets the policy manages.
+        ways: set associativity.
+        seed: seed for policies with randomised behaviour (RND, BIP,
+            BRRIP, DIP, DRRIP); fixed seeds keep simulations
+            reproducible.
+
+    Raises:
+        ValueError: for an unknown policy name.
+    """
+    try:
+        cls = _REGISTRY[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"known: {', '.join(sorted(_REGISTRY))}") from None
+    return cls(num_sets, ways, seed=seed)
+
+
+__all__ = [
+    "ReplacementPolicy",
+    "SetDuelingMonitor",
+    "LruPolicy",
+    "LipPolicy",
+    "BipPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "NruPolicy",
+    "DipPolicy",
+    "SrripPolicy",
+    "BrripPolicy",
+    "DrripPolicy",
+    "TreePlruPolicy",
+    "ShipPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]

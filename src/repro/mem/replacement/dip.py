@@ -1,0 +1,44 @@
+"""DIP: Dynamic Insertion Policy [Qureshi et al., ISCA 2007].
+
+DIP set-duels classic LRU insertion against BIP: a few leader sets
+always use LRU, a few always use BIP, and a saturating PSEL counter
+driven by leader-set misses decides which insertion policy the follower
+sets adopt.  DIP retains LRU's behaviour on LRU-friendly workloads while
+resisting thrashing scans.
+"""
+
+from __future__ import annotations
+
+from repro.mem.replacement.base import SetDuelingMonitor
+from repro.mem.replacement.lru import BipPolicy, LruPolicy
+
+
+class DipPolicy(LruPolicy):
+    """Dynamic Insertion Policy (LRU vs BIP set dueling).
+
+    Victim selection is plain LRU; only the *insertion* position of a
+    fill is policy-dependent, exactly as in the DIP paper.
+    """
+
+    name = "DIP"
+    epsilon = BipPolicy.epsilon
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0,
+                 leaders_per_policy: int = 8) -> None:
+        super().__init__(num_sets, ways, seed)
+        self.duel = SetDuelingMonitor(num_sets, leaders_per_policy)
+
+    def on_miss(self, set_index: int) -> None:
+        self.duel.record_miss(set_index)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        if self.duel.use_policy_a(set_index):
+            # LRU insertion: new line goes to MRU.
+            self._touch(set_index, way)
+        elif self.rng.random() < self.epsilon:
+            # BIP: rare MRU insertion...
+            self._touch(set_index, way)
+        else:
+            # ...otherwise LRU-position insertion.
+            stamps = self._stamp[set_index]
+            stamps[way] = min(stamps) - 1

@@ -1,0 +1,38 @@
+"""Not-recently-used replacement (extension beyond the paper's five).
+
+NRU is the single-bit ancestor of RRIP: each line has a reference bit;
+hits set it; the victim is the first way with a clear bit, and if all
+bits are set they are cleared first.  Included because the paper's
+methodology is policy-agnostic -- adding a sixth policy exercises the
+"new microarchitecture vs baseline" workflow end to end.
+"""
+
+from __future__ import annotations
+
+from repro.mem.replacement.base import ReplacementPolicy
+
+
+class NruPolicy(ReplacementPolicy):
+    """Not-recently-used replacement with per-line reference bits."""
+
+    name = "NRU"
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, ways, seed)
+        self._referenced = [[False] * ways for _ in range(num_sets)]
+
+    def victim(self, set_index: int) -> int:
+        bits = self._referenced[set_index]
+        for way, referenced in enumerate(bits):
+            if not referenced:
+                return way
+        # All referenced: clear everyone and evict way 0.
+        for way in range(self.ways):
+            bits[way] = False
+        return 0
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._referenced[set_index][way] = True
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._referenced[set_index][way] = True

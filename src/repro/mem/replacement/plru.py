@@ -1,0 +1,70 @@
+"""Tree-PLRU replacement (extension beyond the paper's five).
+
+Tree pseudo-LRU approximates LRU with one bit per internal node of a
+binary tree over the ways: an access flips the path bits away from the
+accessed way; the victim is found by following the bits.  It is what
+most real L1/L2 caches implement instead of true LRU, so it is a
+natural "incremental modification" candidate for the paper's
+methodology (LRU vs PLRU is a textbook close pair).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mem.replacement.base import ReplacementPolicy
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two number of ways."""
+
+    name = "PLRU"
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, ways, seed)
+        if ways & (ways - 1) != 0:
+            raise ValueError("tree-PLRU needs a power-of-two way count")
+        # One bit per internal node, heap order: node i has children
+        # 2i+1 and 2i+2; bit 0 means "LRU side is the left subtree".
+        self._bits: List[List[bool]] = [
+            [False] * (ways - 1) for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Point every node on the way's path *away* from it."""
+        bits = self._bits[set_index]
+        node = 0
+        low, high = 0, self.ways
+        while high - low > 1:
+            middle = (low + high) // 2
+            went_left = way < middle
+            bits[node] = went_left          # True: LRU side is right... 
+            # Convention: bit False -> victim search goes left.  After
+            # touching a way on the left, the bit must send the next
+            # victim right, so store "went_left".
+            if went_left:
+                node = 2 * node + 1
+                high = middle
+            else:
+                node = 2 * node + 2
+                low = middle
+        # normalise: bits[n] True means "go right for the victim".
+
+    def victim(self, set_index: int) -> int:
+        bits = self._bits[set_index]
+        node = 0
+        low, high = 0, self.ways
+        while high - low > 1:
+            middle = (low + high) // 2
+            if bits[node]:                  # victim lives on the right
+                node = 2 * node + 2
+                low = middle
+            else:
+                node = 2 * node + 1
+                high = middle
+        return low
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)

@@ -1,0 +1,35 @@
+"""Simulators and campaign infrastructure.
+
+Two simulator families, mirroring the paper's Zesto / BADCO pair:
+
+- :class:`~repro.sim.detailed.DetailedSimulator` -- the slow ground
+  truth: out-of-order cores (``repro.cpu``) sharing an uncore;
+- :class:`~repro.sim.badco.BadcoSimulator` -- the fast approximate
+  simulator: per-benchmark behavioural node models built from two
+  detailed training runs, replayed against the real uncore.
+
+:class:`~repro.sim.runner.SimulationCampaign` runs (workload x policy)
+grids on either simulator with on-disk memoisation and wall-clock /
+MIPS accounting (Table III), producing
+:class:`~repro.sim.results.PopulationResults` consumed by the
+statistics layer in ``repro.core``.
+"""
+
+from repro.sim.detailed import DetailedSimulator, WorkloadRun
+from repro.sim.badco import BadcoModel, BadcoModelBuilder, BadcoSimulator
+from repro.sim.interval import IntervalProfileBuilder, IntervalSimulator
+from repro.sim.results import PopulationResults
+from repro.sim.runner import CampaignTiming, SimulationCampaign
+
+__all__ = [
+    "DetailedSimulator",
+    "WorkloadRun",
+    "BadcoModel",
+    "BadcoModelBuilder",
+    "BadcoSimulator",
+    "IntervalProfileBuilder",
+    "IntervalSimulator",
+    "PopulationResults",
+    "SimulationCampaign",
+    "CampaignTiming",
+]

@@ -1,0 +1,23 @@
+"""BADCO: behavioural application-dependent core models.
+
+The paper's fast approximate simulator [Velasquez et al., SAMOS 2012].
+A BADCO model abstracts a (benchmark, core) pair into a sequence of
+*nodes* -- groups of uops anchored at uncore requests -- whose timing
+parameters are inferred from **two** detailed-simulation training runs
+(one with an always-hit uncore, one with an always-miss uncore).  Once
+built, models execute against a real uncore orders of magnitude faster
+than the detailed core, which is what makes simulating thousands of
+workloads feasible.
+"""
+
+from repro.sim.badco.model import BadcoModel, BadcoModelBuilder, BadcoNode
+from repro.sim.badco.machine import BadcoMachine
+from repro.sim.badco.multicore import BadcoSimulator
+
+__all__ = [
+    "BadcoModel",
+    "BadcoModelBuilder",
+    "BadcoNode",
+    "BadcoMachine",
+    "BadcoSimulator",
+]

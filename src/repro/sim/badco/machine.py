@@ -1,0 +1,79 @@
+"""The BADCO machine: replaying a node model against a real uncore.
+
+"A BADCO machine is an abstract core that fetches and executes nodes."
+Each node issues its anchoring demand read to the uncore, observes the
+actual latency, and charges its timing as
+
+    node_end = node_start + intrinsic + sensitivity * (latency - hit)
+
+Non-blocking traffic (writes, prefetch fills, instruction fills) is
+replayed fire-and-forget, so it still consumes LLC capacity and bus
+bandwidth.  The machine exposes the same stepper interface as
+:class:`repro.cpu.core.DetailedCore`, letting the multicore scheduler
+interleave either kind of core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.sim.badco.model import BadcoModel, TRAIN_HIT_LATENCY
+
+#: Uncore access callback, same shape as the detailed core's:
+#: (address, now, is_write, pc, is_prefetch) -> completion time.
+UncoreAccess = Callable[[int, int, bool, int, bool], int]
+
+
+class BadcoMachine:
+    """Executes one BADCO model against an uncore.
+
+    Args:
+        core_id: index of this core.
+        model: the benchmark's behavioural model.
+        uncore_access: callback serving uncore requests.
+        start_time: global cycle at which this machine begins.
+    """
+
+    def __init__(self, core_id: int, model: BadcoModel,
+                 uncore_access: UncoreAccess, start_time: int = 0) -> None:
+        self.core_id = core_id
+        self.model = model
+        self._uncore_access = uncore_access
+        self._time = float(start_time)
+        self.start_time = start_time
+        self.position = 0          # next node index
+        self.executed = 0          # uops executed (across restarts)
+        self.requests_issued = 0
+
+    @property
+    def local_time(self) -> float:
+        return self._time
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.model.nodes)
+
+    def restart(self) -> None:
+        """Rewind the node sequence (multiprogram restart semantics)."""
+        self.position = 0
+
+    def advance(self) -> float:
+        """Execute the next node; returns the machine's new local time."""
+        node = self.model.nodes[self.position]
+        self.position += 1
+        now = int(self._time)
+        # Non-blocking traffic first (it was produced by uops before the
+        # anchor); it consumes uncore resources but never stalls us.
+        for address, is_write in node.extra_requests:
+            self._uncore_access(address, now, is_write, node.read_pc, True)
+            self.requests_issued += 1
+        stall = 0.0
+        if node.read_address is not None:
+            done = self._uncore_access(node.read_address, now, False,
+                                       node.read_pc, False)
+            self.requests_issued += 1
+            latency = done - now
+            stall = node.sensitivity * max(0.0, latency - TRAIN_HIT_LATENCY)
+        self._time += node.intrinsic + stall
+        self.executed += node.uop_count
+        return self._time

@@ -1,0 +1,208 @@
+"""Building BADCO models from two detailed training runs.
+
+The construction follows the paper's recipe:
+
+- "BADCO uses two traces to build a core model": we run the detailed
+  core twice on the benchmark's trace, once against an *always-hit*
+  uncore (every request returns after the LLC hit latency) and once
+  against an *always-miss* uncore (every request pays the full memory
+  latency).  Both runs see the exact same uop and request streams --
+  cache state in our hierarchy is timing-independent -- so nodes align.
+- "nodes represent groups of uops and their associated uncore
+  requests": each *blocking* request (a demand data read) anchors a
+  node containing the uops since the previous anchor; non-blocking
+  traffic (writes, prefetches, instruction fills) is attached to the
+  node and replayed fire-and-forget.
+- Node timing: the always-hit run gives the node's *intrinsic* duration
+  d1 (core-limited time); the always-miss run gives d2.  The ratio
+  (d2 - d1) / (miss - hit latency) is the node's *sensitivity*: the
+  fraction of its request's latency that lands on the critical path.
+  Overlapped (MLP) requests yield sensitivities well below 1, which is
+  how the model captures memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.bench.generator import DEFAULT_TRACE_LENGTH, cached_trace
+from repro.cpu.core import DetailedCore
+from repro.cpu.resources import CoreConfig, default_core_config
+
+#: Training uncore latencies (core cycles): always-hit and always-miss.
+TRAIN_HIT_LATENCY = 6
+TRAIN_MISS_LATENCY = 240
+
+#: Maximum uops per node.  Long request-free stretches are split into
+#: several pure-intrinsic nodes so that (a) measurement windows resolve
+#: inside them and (b) the multicore scheduler interleaves machines at
+#: a reasonable granularity.
+MAX_NODE_UOPS = 256
+
+
+@dataclass(frozen=True)
+class BadcoNode:
+    """One node of a BADCO model.
+
+    Attributes:
+        uop_count: uops represented by this node.
+        intrinsic: node duration (cycles) when its request hits.
+        sensitivity: extra stall per cycle of request latency beyond a
+            hit (0 = fully overlapped, 1 = fully blocking).
+        read_address: the anchoring demand read, or None for the tail
+            node (trailing uops after the last request).
+        read_pc: instruction address of the anchoring access.
+        extra_requests: non-blocking traffic replayed with the node,
+            as (address, is_write) pairs.
+    """
+
+    uop_count: int
+    intrinsic: float
+    sensitivity: float
+    read_address: Optional[int]
+    read_pc: int
+    extra_requests: Tuple[Tuple[int, bool], ...] = ()
+
+
+@dataclass
+class BadcoModel:
+    """A behavioural model of one benchmark on the Table I core."""
+
+    benchmark: str
+    trace_length: int
+    nodes: List[BadcoNode]
+
+    @property
+    def total_uops(self) -> int:
+        return sum(node.uop_count for node in self.nodes)
+
+    @property
+    def request_count(self) -> int:
+        demand = sum(1 for n in self.nodes if n.read_address is not None)
+        extra = sum(len(n.extra_requests) for n in self.nodes)
+        return demand + extra
+
+
+class _TrainingRun:
+    """One detailed run against a fixed-latency synthetic uncore."""
+
+    def __init__(self, benchmark: str, trace_length: int, seed: int,
+                 latency: int, core_config: CoreConfig) -> None:
+        trace = cached_trace(benchmark, trace_length, seed)
+        self.commit_times: List[float] = []
+        #: (uop_index, address, is_write, pc, is_blocking_read)
+        self.events: List[Tuple[int, int, bool, int, bool]] = []
+        core_box: List[DetailedCore] = []
+
+        def access(address: int, now: int, is_write: bool, pc: int,
+                   is_prefetch: bool = False) -> int:
+            core = core_box[0]
+            blocking = not is_write and not is_prefetch
+            self.events.append((core.position - 1, address, is_write, pc,
+                                blocking))
+            return now + latency
+
+        core = DetailedCore(0, core_config, trace, access)
+        core_box.append(core)
+        while not core.done:
+            self.commit_times.append(core.advance())
+
+
+class BadcoModelBuilder:
+    """Builds (and caches) BADCO models for benchmarks.
+
+    Args:
+        trace_length: uops per benchmark trace.
+        seed: trace seed (must match the campaign's seed).
+        core_config: detailed-core configuration used for training.
+    """
+
+    def __init__(self, trace_length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
+                 core_config: Optional[CoreConfig] = None) -> None:
+        self.trace_length = trace_length
+        self.seed = seed
+        self.core_config = core_config or default_core_config()
+        self._cache = {}
+        #: Detailed-simulation uops spent building models (Section VII-A
+        #: charges this cost to the workload-stratification budget).
+        self.training_uops = 0
+        self.training_seconds = 0.0
+
+    def build(self, benchmark: str) -> BadcoModel:
+        """Build (or fetch from cache) the model of one benchmark."""
+        model = self._cache.get(benchmark)
+        if model is None:
+            model = self._build(benchmark)
+            self._cache[benchmark] = model
+        return model
+
+    def _build(self, benchmark: str) -> BadcoModel:
+        import time as _time
+        started = _time.perf_counter()
+        hit_run = _TrainingRun(benchmark, self.trace_length, self.seed,
+                               TRAIN_HIT_LATENCY, self.core_config)
+        miss_run = _TrainingRun(benchmark, self.trace_length, self.seed,
+                                TRAIN_MISS_LATENCY, self.core_config)
+        self.training_uops += 2 * self.trace_length
+        self.training_seconds += _time.perf_counter() - started
+        nodes = _build_nodes(hit_run, miss_run, self.trace_length)
+        return BadcoModel(benchmark, self.trace_length, nodes)
+
+
+def _emit(nodes: List[BadcoNode], uop_count: int, intrinsic: float,
+          sensitivity: float, address: Optional[int], pc: int,
+          extras: Tuple[Tuple[int, bool], ...]) -> None:
+    """Append a node, splitting long request-free prefixes into chunks.
+
+    The request (if any) stays attached to the final chunk, which keeps
+    its position at the end of the uop span, where the training anchor
+    was.
+    """
+    while uop_count > MAX_NODE_UOPS:
+        share = MAX_NODE_UOPS / uop_count
+        chunk_intrinsic = intrinsic * share
+        nodes.append(BadcoNode(
+            uop_count=MAX_NODE_UOPS, intrinsic=chunk_intrinsic,
+            sensitivity=0.0, read_address=None, read_pc=0,
+            extra_requests=()))
+        uop_count -= MAX_NODE_UOPS
+        intrinsic -= chunk_intrinsic
+    nodes.append(BadcoNode(
+        uop_count=uop_count, intrinsic=intrinsic, sensitivity=sensitivity,
+        read_address=address, read_pc=pc, extra_requests=extras))
+
+
+def _build_nodes(hit_run: _TrainingRun, miss_run: _TrainingRun,
+                 trace_length: int) -> List[BadcoNode]:
+    """Group the training events into timed nodes."""
+    extra_latency = TRAIN_MISS_LATENCY - TRAIN_HIT_LATENCY
+    nodes: List[BadcoNode] = []
+    previous_uop = -1
+    previous_hit_time = 0.0
+    previous_miss_time = 0.0
+    pending_extras: List[Tuple[int, bool]] = []
+    for index, address, is_write, pc, blocking in hit_run.events:
+        if not blocking:
+            pending_extras.append((address, is_write))
+            continue
+        uop_count = max(index - previous_uop, 0)
+        hit_time = hit_run.commit_times[index]
+        miss_time = miss_run.commit_times[index]
+        d1 = hit_time - previous_hit_time
+        d2 = miss_time - previous_miss_time
+        sensitivity = max(0.0, (d2 - d1) / extra_latency)
+        _emit(nodes, uop_count, max(d1, 0.0), min(sensitivity, 1.5),
+              address, pc, tuple(pending_extras))
+        pending_extras = []
+        previous_uop = index
+        previous_hit_time = hit_time
+        previous_miss_time = miss_time
+    # Tail node: uops after the last blocking request.
+    tail_uops = (trace_length - 1) - previous_uop
+    if tail_uops > 0 or pending_extras:
+        d1 = hit_run.commit_times[-1] - previous_hit_time
+        _emit(nodes, max(tail_uops, 0), max(d1, 0.0), 0.0, None, 0,
+              tuple(pending_extras))
+    return nodes

@@ -1,0 +1,28 @@
+"""Interval-model approximate simulator (extension).
+
+The paper notes that other approximate simulators can serve its
+methodology (it names Sniper, whose core abstraction is *interval
+simulation*).  This package provides such an alternative family next
+to BADCO:
+
+- it trains from **one** detailed run instead of BADCO's two, so model
+  building is twice as cheap;
+- it models memory-level parallelism structurally (demand misses whose
+  uops fall inside one ROB window overlap; the group leader pays the
+  full latency, followers ride along) instead of measuring per-node
+  sensitivity;
+- it is consequently faster to build and somewhat less accurate --
+  exactly the trade-off knob the methodology ablation
+  (``repro.experiments.ext2_simulator_ablation``) studies.
+"""
+
+from repro.sim.interval.profile import IntervalProfile, IntervalProfileBuilder
+from repro.sim.interval.machine import IntervalMachine
+from repro.sim.interval.multicore import IntervalSimulator
+
+__all__ = [
+    "IntervalProfile",
+    "IntervalProfileBuilder",
+    "IntervalMachine",
+    "IntervalSimulator",
+]

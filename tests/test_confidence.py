@@ -1,0 +1,70 @@
+"""The CLT confidence model: eqs. (5) and (8)."""
+
+import math
+
+import pytest
+
+from repro.core.confidence import (
+    confidence_at_saturation,
+    confidence_from_cv,
+    confidence_model_curve,
+    required_sample_size,
+)
+
+
+def test_confidence_half_at_zero_mean():
+    assert confidence_from_cv(math.inf, 100) == pytest.approx(0.5)
+
+
+def test_confidence_monotonic_in_sample_size():
+    values = [confidence_from_cv(2.0, w) for w in (1, 10, 100, 1000)]
+    assert values == sorted(values)
+    assert values[-1] > 0.99
+
+
+def test_negative_cv_mirrors_positive():
+    up = confidence_from_cv(1.5, 50)
+    down = confidence_from_cv(-1.5, 50)
+    assert up + down == pytest.approx(1.0)
+
+
+def test_paper_rule_w_equals_8cv_squared():
+    """Eq. (8): at W = 8 cv^2 the erf argument is exactly 2."""
+    for cv in (0.5, 1.0, 2.5, 7.0):
+        w = required_sample_size(cv)
+        assert w == math.ceil(8 * cv * cv)
+        x = (1 / cv) * math.sqrt(w / 2)
+        assert x >= 2.0
+        assert confidence_from_cv(cv, w) >= 0.9976
+
+
+def test_paper_examples():
+    """cv ~ 1 -> ~8 workloads (LRU vs FIFO); cv < 10 -> <= 800."""
+    assert required_sample_size(1.0) == 8
+    assert required_sample_size(10.0) == 800
+
+
+def test_required_size_at_least_one():
+    assert required_sample_size(0.01) == 1
+
+
+def test_required_size_rejects_equivalent_machines():
+    with pytest.raises(ValueError):
+        required_sample_size(math.inf)
+
+
+def test_model_curve_saturates_at_two():
+    curve = dict(confidence_model_curve([-2.0, 0.0, 2.0]))
+    assert curve[0.0] == pytest.approx(0.5)
+    assert curve[2.0] == pytest.approx(confidence_at_saturation())
+    assert curve[2.0] > 0.997
+    assert curve[-2.0] == pytest.approx(1 - curve[2.0])
+
+
+def test_invalid_sample_size():
+    with pytest.raises(ValueError):
+        confidence_from_cv(1.0, 0)
+
+
+def test_cv_zero_means_certain():
+    assert confidence_from_cv(0.0, 1) == 1.0

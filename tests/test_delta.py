@@ -1,0 +1,76 @@
+"""The d(w) variable of Section III, per metric family."""
+
+import math
+
+import pytest
+
+from repro.core.delta import DeltaVariable, delta_statistics
+from repro.core.metrics import GMS, HSU, IPCT, WSU
+from repro.core.workload import Workload
+
+W = Workload(["a", "b"])
+REF = {"a": 1.0, "b": 1.0}
+
+
+def test_amean_delta_is_throughput_difference():
+    v = DeltaVariable(IPCT)
+    d = v.value(W, [1.0, 1.0], [1.5, 1.5])
+    assert d == pytest.approx(0.5)
+
+
+def test_hmean_delta_is_reciprocal_difference():
+    """Eq. (7): d(w) = 1/t_X - 1/t_Y, positive when Y is better."""
+    v = DeltaVariable(HSU, REF)
+    tx = HSU.workload_throughput([1.0, 0.5], ["a", "b"], REF)
+    ty = HSU.workload_throughput([2.0, 1.0], ["a", "b"], REF)
+    d = v.value(W, [1.0, 0.5], [2.0, 1.0])
+    assert d == pytest.approx(1 / tx - 1 / ty)
+    assert d > 0
+
+
+def test_gmean_delta_is_log_difference():
+    """Footnote 3: the CLT applies to log throughput for G-means."""
+    v = DeltaVariable(GMS, REF)
+    d = v.value(W, [1.0, 1.0], [2.0, 2.0])
+    assert d == pytest.approx(math.log(2.0))
+
+
+def test_positive_delta_means_y_wins_all_families():
+    for metric in (IPCT, WSU, HSU, GMS):
+        v = DeltaVariable(metric, REF)
+        assert v.value(W, [1.0, 1.0], [1.2, 1.2]) > 0
+        assert v.value(W, [1.2, 1.2], [1.0, 1.0]) < 0
+
+
+def test_table_builds_per_workload_values():
+    v = DeltaVariable(IPCT)
+    w2 = Workload(["c", "d"])
+    x = {W: [1.0, 1.0], w2: [2.0, 2.0]}
+    y = {W: [2.0, 2.0], w2: [1.0, 1.0]}
+    table = v.table([W, w2], x, y)
+    assert table[W] == pytest.approx(1.0)
+    assert table[w2] == pytest.approx(-1.0)
+
+
+def test_delta_statistics_mean_std():
+    stats = delta_statistics([1.0, 2.0, 3.0])
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.std == pytest.approx(math.sqrt(2 / 3))
+
+
+def test_cv_sign_and_inverse():
+    stats = delta_statistics([1.0, 3.0])
+    assert stats.cv == pytest.approx(1.0 / 2.0)
+    assert stats.inverse_cv == pytest.approx(2.0)
+    negative = delta_statistics([-1.0, -3.0])
+    assert negative.cv < 0
+
+
+def test_cv_infinite_when_mean_zero():
+    stats = delta_statistics([-1.0, 1.0])
+    assert math.isinf(stats.cv)
+
+
+def test_empty_values_rejected():
+    with pytest.raises(ValueError):
+        delta_statistics([])

@@ -1,0 +1,72 @@
+"""Empirical confidence estimation."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.confidence import confidence_from_cv
+from repro.core.delta import delta_statistics
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.sampling import SimpleRandomSampling
+from repro.core.workload import Workload
+
+
+def _delta(population, offset):
+    rng = random.Random(9)
+    return {w: rng.gauss(offset, 1.0) for w in population}
+
+
+def test_certain_win_gives_full_confidence(small_population):
+    delta = {w: 1.0 + 0.01 * i for i, w in enumerate(small_population)}
+    estimator = ConfidenceEstimator(small_population, delta, draws=100)
+    conf = estimator.confidence(SimpleRandomSampling(), 5)
+    assert conf == 1.0
+
+
+def test_certain_loss_gives_zero_confidence(small_population):
+    delta = {w: -1.0 for w in small_population}
+    estimator = ConfidenceEstimator(small_population, delta, draws=100)
+    assert estimator.confidence(SimpleRandomSampling(), 5) == 0.0
+
+
+def test_confidence_increases_with_sample_size(small_population):
+    delta = _delta(small_population, offset=0.4)
+    estimator = ConfidenceEstimator(small_population, delta, draws=400)
+    small = estimator.confidence(SimpleRandomSampling(), 2, seed=1)
+    large = estimator.confidence(SimpleRandomSampling(), 40, seed=1)
+    assert large >= small
+
+
+def test_matches_analytical_model(small_population):
+    """Empirical and eq. (5) confidence agree on a random-ish delta."""
+    delta = _delta(small_population, offset=0.3)
+    stats = delta_statistics(list(delta.values()))
+    estimator = ConfidenceEstimator(small_population, delta, draws=2000)
+    for w in (4, 16):
+        measured = estimator.confidence(SimpleRandomSampling(), w, seed=3)
+        model = confidence_from_cv(stats.cv, w)
+        assert measured == pytest.approx(model, abs=0.06)
+
+
+def test_curve_shape(small_population):
+    delta = _delta(small_population, offset=0.5)
+    estimator = ConfidenceEstimator(small_population, delta, draws=200)
+    curve = estimator.curve(SimpleRandomSampling(), (2, 8, 32))
+    assert curve.sample_sizes == (2, 8, 32)
+    assert len(curve.confidence) == 3
+    assert curve.as_dict()[32] >= curve.as_dict()[2]
+
+
+def test_missing_delta_rejected(small_population):
+    delta = {w: 1.0 for w in list(small_population)[:-1]}
+    with pytest.raises(ValueError):
+        ConfidenceEstimator(small_population, delta)
+
+
+def test_reproducible_for_fixed_seed(small_population):
+    delta = _delta(small_population, offset=0.2)
+    estimator = ConfidenceEstimator(small_population, delta, draws=150)
+    a = estimator.confidence(SimpleRandomSampling(), 6, seed=11)
+    b = estimator.confidence(SimpleRandomSampling(), 6, seed=11)
+    assert a == b

@@ -1,0 +1,89 @@
+"""Experiment infrastructure: scales, contexts, result formatting."""
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.experiments.common import (
+    ExperimentContext,
+    POLICY_PAIRS,
+    Scale,
+)
+from repro.experiments.fig2_cpi_accuracy import Fig2CoreResult, Fig2Result
+from repro.experiments.table3_speedup import Table3Result, Table3Row
+from repro.experiments.fig5_cv_metrics import Fig5Result
+
+
+def test_policy_pairs_are_the_papers_ten():
+    assert len(POLICY_PAIRS) == 10
+    assert ("LRU", "RND") in POLICY_PAIRS
+    assert ("DIP", "DRRIP") in POLICY_PAIRS
+    # Each unordered pair appears exactly once.
+    unordered = {frozenset(p) for p in POLICY_PAIRS}
+    assert len(unordered) == 10
+
+
+def test_scales_are_ordered_in_size():
+    small = ExperimentContext(Scale.SMALL, cache_dir=None)
+    medium = ExperimentContext(Scale.MEDIUM, cache_dir=None)
+    full = ExperimentContext(Scale.FULL, cache_dir=None)
+    assert small.parameters.trace_length < medium.parameters.trace_length \
+        <= full.parameters.trace_length
+    for cores in (2, 4, 8):
+        assert small.parameters.population_cap[cores] <= \
+            medium.parameters.population_cap[cores] <= \
+            full.parameters.population_cap[cores]
+
+
+def test_full_scale_matches_paper_population_sizes():
+    params = ExperimentContext(Scale.FULL, cache_dir=None).parameters
+    assert params.population_cap[2] == 253
+    assert params.population_cap[4] == 12650
+    assert params.population_cap[8] == 10000
+    assert params.detailed_sample == 250
+    assert params.draws == 10000
+
+
+def test_context_caches_populations_and_campaigns():
+    context = ExperimentContext(Scale.SMALL, cache_dir=None)
+    assert context.population(2) is context.population(2)
+    assert context.campaign("badco", 2) is context.campaign("badco", 2)
+    assert context.builder() is context.builder()
+
+
+def test_detailed_sample_is_deterministic_and_inside_population():
+    context = ExperimentContext(Scale.SMALL, cache_dir=None)
+    a = context.detailed_sample(2)
+    b = context.detailed_sample(2)
+    assert a == b
+    population = set(context.population(2))
+    assert all(w in population for w in a)
+    assert len(a) == context.parameters.detailed_sample
+
+
+def test_table3_row_speedup():
+    row = Table3Row(cores=4, detailed_mips=0.05, badco_mips=2.0)
+    assert row.speedup == pytest.approx(40.0)
+    result = Table3Result({4: row})
+    assert any("40.0" in line for line in result.rows())
+
+
+def test_fig2_rows_format():
+    core_result = Fig2CoreResult(
+        cores=2, points=[(1.0, 1.1)], mean_cpi_error=4.5,
+        max_cpi_error=20.0, mean_speedup_error=0.7,
+        badco_underestimates=0.8)
+    result = Fig2Result({2: core_result})
+    rows = result.rows()
+    assert "4.50" in rows[1]
+    assert "20.00" in rows[1]
+
+
+def test_fig5_result_helpers():
+    bars = {
+        ("LRU", "FIFO"): {"IPCT": -0.5, "WSU": -0.6, "HSU": -0.4},
+        ("LRU", "DIP"): {"IPCT": 0.2, "WSU": -0.1, "HSU": 0.1},
+    }
+    result = Fig5Result(cores=4, bars=bars)
+    assert result.sign_consistent_pairs() == [("LRU", "FIFO")]
+    sizes = result.required_sizes()
+    assert sizes[("LRU", "FIFO")]["IPCT"] == 32     # 8 / 0.5^2

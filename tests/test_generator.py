@@ -1,0 +1,84 @@
+"""Trace generation: determinism and spec fidelity."""
+
+import pytest
+
+from repro.bench.generator import cached_trace, generate_trace
+from repro.bench.spec import benchmark_by_name
+from repro.bench.trace import UopKind
+
+from tests.conftest import TEST_TRACE_LENGTH
+
+
+def test_determinism():
+    spec = benchmark_by_name("gcc")
+    a = generate_trace(spec, 2000, seed=5)
+    b = generate_trace(spec, 2000, seed=5)
+    assert [(u.kind, u.pc, u.address, u.taken) for u in a] == \
+        [(u.kind, u.pc, u.address, u.taken) for u in b]
+
+
+def test_different_seeds_differ():
+    spec = benchmark_by_name("gcc")
+    a = generate_trace(spec, 2000, seed=1)
+    b = generate_trace(spec, 2000, seed=2)
+    assert [u.pc for u in a] != [u.pc for u in b]
+
+
+def test_different_benchmarks_differ_even_with_same_seed():
+    a = generate_trace(benchmark_by_name("povray"), 1000, seed=1)
+    b = generate_trace(benchmark_by_name("namd"), 1000, seed=1)
+    assert [u.kind for u in a] != [u.kind for u in b]
+
+
+def test_exact_length():
+    trace = generate_trace(benchmark_by_name("mcf"), 1234, seed=0)
+    assert len(trace) == 1234
+
+
+def test_instruction_mix_near_spec():
+    spec = benchmark_by_name("mcf")
+    trace = generate_trace(spec, TEST_TRACE_LENGTH * 3, seed=0)
+    n = len(trace)
+    loads = trace.count(UopKind.LOAD) / n
+    branches = trace.count(UopKind.BRANCH) / n
+    # Loop structure distorts the static mix a little; allow slack.
+    assert loads == pytest.approx(spec.load_fraction, abs=0.08)
+    assert branches == pytest.approx(spec.branch_fraction, abs=0.08)
+
+
+def test_memory_uops_have_addresses():
+    trace = generate_trace(benchmark_by_name("gcc"), 2000, seed=0)
+    for uop in trace:
+        if uop.is_memory:
+            assert uop.address is not None
+        if uop.kind == UopKind.BRANCH:
+            assert uop.taken is not None
+            assert uop.target is not None
+
+
+def test_branches_have_stable_static_identity():
+    """Each static branch PC recurs many times (predictor learnability)."""
+    from collections import Counter
+
+    trace = generate_trace(benchmark_by_name("povray"), 8000, seed=0)
+    counts = Counter(u.pc for u in trace if u.kind == UopKind.BRANCH)
+    executions = sorted(counts.values())
+    # The median static branch executes a healthy number of times.
+    assert executions[len(executions) // 2] >= 4
+
+
+def test_footprint_tracks_working_set():
+    small = generate_trace(benchmark_by_name("povray"), 4000, seed=0)
+    large = generate_trace(benchmark_by_name("mcf"), 4000, seed=0)
+    assert large.memory_footprint() > small.memory_footprint()
+
+
+def test_invalid_length():
+    with pytest.raises(ValueError):
+        generate_trace(benchmark_by_name("gcc"), 0)
+
+
+def test_cached_trace_identity():
+    a = cached_trace("gcc", 1500, 0)
+    b = cached_trace("gcc", 1500, 0)
+    assert a is b

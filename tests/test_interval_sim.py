@@ -1,0 +1,84 @@
+"""The interval-model approximate simulator (extension)."""
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.sim.detailed import DetailedSimulator
+from repro.sim.interval import IntervalProfileBuilder, IntervalSimulator
+
+from tests.conftest import TEST_TRACE_LENGTH
+
+LENGTH = TEST_TRACE_LENGTH
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return IntervalProfileBuilder(trace_length=LENGTH, seed=0)
+
+
+def test_profile_accounts_every_uop(builder):
+    for name in ("povray", "gcc", "mcf"):
+        profile = builder.build(name)
+        assert profile.total_uops == LENGTH
+
+
+def test_one_training_run_per_benchmark(builder):
+    before = builder.training_uops
+    builder.build("hmmer")
+    assert builder.training_uops == before + LENGTH   # one run, not two
+
+
+def test_profiles_cached(builder):
+    assert builder.build("gcc") is builder.build("gcc")
+
+
+def test_groups_bounded_by_rob(builder):
+    profile = builder.build("mcf")
+    rob = builder.core_config.rob_entries
+    # All reads of a group were issued within one ROB window by
+    # construction; the group is closed after that.
+    assert all(len(i.reads) <= rob for i in profile.intervals)
+
+
+def test_single_core_in_right_ballpark(builder):
+    """Cruder than BADCO, but the IPC must stay the right magnitude."""
+    for name in ("povray", "gcc"):
+        detailed = DetailedSimulator(cores=1, trace_length=LENGTH)
+        interval = IntervalSimulator(cores=1, builder=builder,
+                                     trace_length=LENGTH)
+        ipc_d = detailed.run(Workload([name])).ipcs[0]
+        ipc_i = interval.run(Workload([name])).ipcs[0]
+        assert 0.4 < ipc_i / ipc_d < 2.5, (name, ipc_d, ipc_i)
+
+
+def test_multicore_runs_and_orders_benchmarks(builder):
+    sim = IntervalSimulator(cores=2, builder=builder, trace_length=LENGTH)
+    run = sim.run(Workload(["povray", "mcf"]))
+    by_name = dict(zip(Workload(["povray", "mcf"]).benchmarks, run.ipcs))
+    assert by_name["povray"] > by_name["mcf"]
+
+
+def test_deterministic(builder):
+    sim = IntervalSimulator(cores=2, builder=builder, trace_length=LENGTH)
+    a = sim.run(Workload(["gcc", "mcf"]))
+    b = sim.run(Workload(["gcc", "mcf"]))
+    assert a.ipcs == b.ipcs
+
+
+def test_policy_changes_results(builder):
+    w = Workload(["mcf", "libquantum"])
+    lru = IntervalSimulator(cores=2, policy="LRU", builder=builder,
+                            trace_length=LENGTH).run(w)
+    dip = IntervalSimulator(cores=2, policy="DIP", builder=builder,
+                            trace_length=LENGTH).run(w)
+    assert lru.ipcs != dip.ipcs
+
+
+def test_builder_length_mismatch_rejected(builder):
+    with pytest.raises(ValueError):
+        IntervalSimulator(cores=2, builder=builder, trace_length=LENGTH + 1)
+
+
+def test_reference_ipc(builder):
+    sim = IntervalSimulator(cores=4, builder=builder, trace_length=LENGTH)
+    assert sim.reference_ipc("povray") > 0.2

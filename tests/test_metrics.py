@@ -1,0 +1,89 @@
+"""Throughput metrics: eq. (1)/(2) semantics and weighted variants."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import GMS, HSU, IPCT, METRICS, WSU, metric_by_name
+
+
+def test_ipct_is_plain_average_of_ipcs():
+    t = IPCT.workload_throughput([1.0, 2.0, 3.0], ["a", "b", "c"])
+    assert t == pytest.approx(2.0)
+
+
+def test_ipct_ignores_reference():
+    t = IPCT.workload_throughput([1.0, 3.0], ["a", "b"], {"a": 9, "b": 9})
+    assert t == pytest.approx(2.0)
+
+
+def test_wsu_is_mean_of_speedups():
+    ref = {"a": 2.0, "b": 0.5}
+    t = WSU.workload_throughput([1.0, 0.25], ["a", "b"], ref)
+    assert t == pytest.approx((0.5 + 0.5) / 2)
+
+
+def test_hsu_is_harmonic_mean_of_speedups():
+    ref = {"a": 1.0, "b": 1.0}
+    t = HSU.workload_throughput([1.0, 0.5], ["a", "b"], ref)
+    assert t == pytest.approx(2 / (1 / 1.0 + 1 / 0.5))
+
+
+def test_gms_is_geometric_mean():
+    ref = {"a": 1.0, "b": 1.0}
+    t = GMS.workload_throughput([4.0, 1.0], ["a", "b"], ref)
+    assert t == pytest.approx(2.0)
+
+
+def test_speedup_metrics_require_reference():
+    for metric in (WSU, HSU, GMS):
+        with pytest.raises(ValueError):
+            metric.workload_throughput([1.0], ["a"])
+
+
+def test_equal_ipcs_collapse_all_means():
+    ref = {"a": 1.0}
+    for metric in METRICS:
+        t = metric.workload_throughput([1.5], ["a"], ref)
+        assert t == pytest.approx(1.5)
+
+
+def test_hmean_less_than_amean_on_spread_values():
+    ref = {"a": 1.0, "b": 1.0}
+    ipcs = [2.0, 0.5]
+    wsu = WSU.workload_throughput(ipcs, ["a", "b"], ref)
+    hsu = HSU.workload_throughput(ipcs, ["a", "b"], ref)
+    assert hsu < wsu
+
+
+def test_sample_throughput_weighted_mean():
+    # Weighted A-mean (eq. 9): weights reweight per-workload values.
+    t = IPCT.sample_throughput([1.0, 3.0], weights=[0.75, 0.25])
+    assert t == pytest.approx(1.5)
+
+
+def test_weighted_harmonic_mean():
+    t = HSU.sample_throughput([1.0, 2.0], weights=[0.5, 0.5])
+    assert t == pytest.approx(2 / (1 / 1.0 + 1 / 2.0))
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        IPCT.workload_throughput([1.0, 2.0], ["a"])
+
+
+def test_empty_sample_rejected():
+    with pytest.raises(ValueError):
+        IPCT.sample_throughput([])
+
+
+def test_hsu_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        HSU.sample_throughput([1.0, 0.0])
+
+
+def test_metric_lookup():
+    assert metric_by_name("wsu") is WSU
+    assert metric_by_name("IPCT") is IPCT
+    with pytest.raises(ValueError):
+        metric_by_name("nope")

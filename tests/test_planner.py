@@ -1,0 +1,74 @@
+"""The Section VII guideline and overhead model."""
+
+import math
+
+import pytest
+
+from repro.core.planner import (
+    OverheadModel,
+    Recommendation,
+    recommend_method,
+)
+
+
+def test_equivalent_above_ten():
+    decision = recommend_method(15.0)
+    assert decision.recommendation is Recommendation.EQUIVALENT
+    assert decision.sample_size is None
+
+
+def test_equivalent_for_infinite_cv():
+    assert recommend_method(math.inf).recommendation is \
+        Recommendation.EQUIVALENT
+
+
+def test_random_below_two():
+    decision = recommend_method(1.0)
+    assert decision.recommendation is Recommendation.BALANCED_RANDOM
+    assert decision.sample_size == 8      # W = 8 cv^2
+
+
+def test_stratification_in_between():
+    decision = recommend_method(5.0)
+    assert decision.recommendation is Recommendation.WORKLOAD_STRATIFICATION
+    assert decision.sample_size == 30
+
+
+def test_sign_is_ignored():
+    assert recommend_method(-5.0).recommendation is \
+        Recommendation.WORKLOAD_STRATIFICATION
+
+
+def _paper_model():
+    """The Section VII-A numbers (Table III MIPS, 100 M instructions)."""
+    return OverheadModel(
+        instructions_per_thread=100e6, cores=4, benchmarks=22,
+        detailed_mips=0.049, detailed_single_mips=0.170, approx_mips=1.89)
+
+
+def test_paper_detailed_hours():
+    """30 workloads -> ~136 cpu*h; 120 -> ~544 cpu*h."""
+    model = _paper_model()
+    assert model.detailed_hours(30) == pytest.approx(136, rel=0.01)
+    assert model.detailed_hours(120) == pytest.approx(544, rel=0.01)
+
+
+def test_paper_model_building_hours():
+    """22 benchmarks x 2 traces -> ~7 cpu*h."""
+    assert _paper_model().model_building_hours() == pytest.approx(7.2, rel=0.02)
+
+
+def test_paper_badco_population_hours():
+    """800 workloads x 2 policies with BADCO -> ~94 cpu*h."""
+    assert _paper_model().approx_hours(800) == pytest.approx(94, rel=0.01)
+
+
+def test_paper_stratification_overhead_fraction():
+    """(7 + 94) / 136 ~ 74 % extra simulation."""
+    fraction = _paper_model().stratification_overhead(30, 800)
+    assert fraction == pytest.approx(0.74, abs=0.01)
+
+
+def test_overhead_requires_detailed_workloads():
+    with pytest.raises(ValueError):
+        _paper_model().stratification_overhead(0)

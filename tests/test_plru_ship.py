@@ -1,0 +1,112 @@
+"""Extension policies: tree-PLRU and SHiP."""
+
+import random
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.replacement import make_policy
+
+
+def test_plru_requires_power_of_two_ways():
+    with pytest.raises(ValueError):
+        make_policy("PLRU", 4, 3)
+
+
+def test_plru_victim_never_most_recent():
+    plru = make_policy("PLRU", 1, 8)
+    for way in range(8):
+        plru.on_fill(0, way)
+    for _ in range(50):
+        victim = plru.victim(0)
+        plru.on_hit(0, victim)          # touch the victim...
+        assert plru.victim(0) != victim  # ...so it cannot be next
+
+
+def test_plru_root_points_away_from_hot_half():
+    """Touching only the left half sends victims to the right half --
+    the tree-level property that distinguishes PLRU from FIFO/random."""
+    plru = make_policy("PLRU", 1, 8)
+    for way in range(8):
+        plru.on_fill(0, way)
+    for _ in range(3):
+        for way in range(4):            # hammer ways 0-3
+            plru.on_hit(0, way)
+    assert plru.victim(0) >= 4
+
+
+def test_plru_approximates_lru_not_exactly():
+    """PLRU is an approximation: after hits 0..6 in order the true LRU
+    victim would be way 7, but the root was last steered by hit(6)
+    toward the *left* subtree.  Pinning this documents the semantics."""
+    plru = make_policy("PLRU", 1, 8)
+    for way in range(8):
+        plru.on_fill(0, way)
+    for way in range(7):
+        plru.on_hit(0, way)
+    assert plru.victim(0) == 0
+
+
+def _hit_rate(policy, access_pattern, sets=16, ways=8):
+    config = CacheConfig(name="L", size_bytes=sets * ways * 64, ways=ways)
+    cache = Cache(config, make_policy(policy, sets, ways, seed=0))
+    now = 0
+    for address in access_pattern:
+        cache.access(address, now)
+        now += 10
+    stats = cache.stats
+    return stats.demand_hits / stats.demand_accesses
+
+
+def _fitting_pattern(lines=96, repeats=20):
+    rng = random.Random(1)
+    order = [i * 64 for i in range(lines)]
+    pattern = []
+    for _ in range(repeats):
+        rng.shuffle(order)
+        pattern.extend(order)
+    return pattern
+
+
+def test_plru_close_to_lru_on_fitting_set():
+    pattern = _fitting_pattern()
+    lru = _hit_rate("LRU", pattern)
+    plru = _hit_rate("PLRU", pattern)
+    assert abs(lru - plru) < 0.05
+
+
+def _streaming_with_reuse(reuse_lines=64, stream_lines=4096, repeats=12):
+    rng = random.Random(2)
+    reuse = [i * 64 for i in range(reuse_lines)]
+    pattern = []
+    stream_at = 10_000_000
+    for r in range(repeats):
+        rng.shuffle(reuse)
+        for i, address in enumerate(reuse):
+            pattern.append(address)
+            pattern.append(stream_at)
+            stream_at += 64
+    return pattern
+
+
+def test_ship_beats_lru_under_streaming():
+    """SHiP learns the stream's signature is dead and protects reuse."""
+    pattern = _streaming_with_reuse()
+    ship = _hit_rate("SHIP", pattern, sets=8, ways=8)
+    lru = _hit_rate("LRU", pattern, sets=8, ways=8)
+    assert ship > lru
+
+
+def test_ship_shct_trains_both_ways():
+    ship = make_policy("SHIP", 64, 4)
+    ship.on_miss(0)
+    ship.on_fill(0, 0)
+    ship.on_hit(0, 0)                      # line reused: credit signature
+    signature = ship._signature[0][0]
+    assert ship._shct[signature] >= 1
+    # A dead line's eviction debits its signature.
+    ship.on_miss(32)
+    ship.on_fill(32, 0)
+    before = ship._shct[ship._signature[32][0]]
+    ship.victim(32)
+    assert ship._shct[ship._signature[32][0]] <= before

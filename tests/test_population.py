@@ -1,0 +1,82 @@
+"""Population enumeration, counting identities and uniform sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.population import (
+    WorkloadPopulation,
+    enumerate_workloads,
+    population_size,
+    sample_workload,
+)
+
+
+def test_paper_population_sizes():
+    """The counts quoted in the paper for 22 benchmarks."""
+    assert population_size(22, 2) == 253
+    assert population_size(22, 4) == 12650
+
+
+def test_population_size_is_multiset_coefficient():
+    assert population_size(3, 2) == 6     # aa ab ac bb bc cc
+    assert population_size(5, 1) == 5
+    assert population_size(1, 8) == 1
+
+
+def test_population_size_rejects_degenerate():
+    with pytest.raises(ValueError):
+        population_size(0, 2)
+    with pytest.raises(ValueError):
+        population_size(5, 0)
+
+
+def test_enumeration_matches_count():
+    names = ["a", "b", "c", "d"]
+    workloads = list(enumerate_workloads(names, 3))
+    assert len(workloads) == population_size(4, 3)
+    assert len(set(workloads)) == len(workloads)
+
+
+def test_every_benchmark_occurs_equally_in_full_population():
+    """The symmetry behind balanced random sampling (Section VI-A)."""
+    pop = WorkloadPopulation(["a", "b", "c", "d", "e"], 3)
+    occurrences = pop.benchmark_occurrences()
+    assert len(set(occurrences.values())) == 1
+
+
+def test_sampled_population_when_too_large():
+    pop = WorkloadPopulation([f"b{i}" for i in range(22)], 8,
+                             max_size=100, seed=1)
+    assert not pop.is_exhaustive
+    assert len(pop) == 100
+    assert len(set(pop.workloads)) == 100
+
+
+def test_exhaustive_when_under_cap():
+    pop = WorkloadPopulation(["a", "b", "c"], 2, max_size=100)
+    assert pop.is_exhaustive
+    assert len(pop) == 6
+
+
+def test_uniform_multiset_sampling_is_uniform():
+    """Stars-and-bars sampling hits each multiset equally often."""
+    rng = random.Random(7)
+    names = ["a", "b", "c"]
+    counts = Counter()
+    draws = 12000
+    for _ in range(draws):
+        counts[sample_workload(names, 2, rng)] = counts.get(
+            sample_workload(names, 2, rng), 0) + 1
+    # 6 possible workloads; each should get ~1/6 of the draws.
+    for workload, count in counts.items():
+        assert abs(count / draws - 1 / 6) < 0.03, workload
+
+
+def test_sample_workload_members_come_from_suite():
+    rng = random.Random(3)
+    for _ in range(50):
+        w = sample_workload(["x", "y"], 4, rng)
+        assert set(w) <= {"x", "y"}
+        assert w.k == 4

@@ -1,0 +1,80 @@
+"""Hardware prefetchers."""
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.prefetch import (
+    NextLinePrefetcher,
+    StridePrefetcher,
+    StreamPrefetcher,
+)
+from repro.mem.replacement import make_policy
+
+
+def _cache():
+    config = CacheConfig(name="L", size_bytes=8192, ways=4)
+    return Cache(config, make_policy("LRU", config.num_sets, 4))
+
+
+def test_next_line_prefetches_on_miss():
+    cache = _cache()
+    prefetcher = NextLinePrefetcher(cache)
+    prefetcher.observe(0x400, 0x1000, 0, was_miss=True)
+    assert cache.contains(0x1040)
+
+
+def test_next_line_idle_on_hit():
+    cache = _cache()
+    prefetcher = NextLinePrefetcher(cache)
+    prefetcher.observe(0x400, 0x1000, 0, was_miss=False)
+    assert not cache.contains(0x1040)
+
+
+def test_stride_detector_learns_constant_stride():
+    cache = _cache()
+    prefetcher = StridePrefetcher(cache, confidence_needed=2, degree=1)
+    pc = 0x400
+    for i in range(4):
+        prefetcher.observe(pc, 0x2000 + i * 128, i, was_miss=True)
+    # After confidence builds, the next line at +128 gets prefetched.
+    assert cache.contains(0x2000 + 4 * 128)
+
+
+def test_stride_detector_ignores_random_pattern():
+    cache = _cache()
+    prefetcher = StridePrefetcher(cache, confidence_needed=2, degree=1)
+    for i, address in enumerate((0x3000, 0x5040, 0x9080, 0x40C0)):
+        prefetcher.observe(0x400, address, i, was_miss=True)
+    assert cache.stats.prefetch_issued == 0
+
+
+def test_stride_table_eviction():
+    cache = _cache()
+    prefetcher = StridePrefetcher(cache, table_entries=2)
+    for pc in (0x100, 0x200, 0x300):
+        prefetcher.observe(pc, 0x1000, 0, was_miss=True)
+    assert len(prefetcher._table) == 2
+
+
+def test_stream_prefetcher_confirms_then_runs_ahead():
+    cache = _cache()
+    prefetcher = StreamPrefetcher(cache, degree=2)
+    # Three sequential misses in one 4 kB region confirm a stream.
+    for i in range(3):
+        prefetcher.observe(0, 0x8000 + i * 64, i, was_miss=True)
+    assert cache.contains(0x8000 + 3 * 64)
+    assert cache.contains(0x8000 + 4 * 64)
+
+
+def test_stream_prefetcher_detects_descending():
+    cache = _cache()
+    prefetcher = StreamPrefetcher(cache, degree=1)
+    for i in range(3):
+        prefetcher.observe(0, 0x9000 - i * 64, i, was_miss=True)
+    assert cache.contains(0x9000 - 3 * 64)
+
+
+def test_stream_prefetcher_ignores_hits():
+    cache = _cache()
+    prefetcher = StreamPrefetcher(cache)
+    for i in range(4):
+        prefetcher.observe(0, 0xA000 + i * 64, i, was_miss=False)
+    assert cache.stats.prefetch_issued == 0

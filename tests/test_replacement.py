@@ -1,0 +1,141 @@
+"""Replacement policies: per-policy behavioural contracts."""
+
+import random
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.replacement import (
+    POLICY_NAMES,
+    make_policy,
+)
+from repro.mem.replacement.base import SetDuelingMonitor
+
+
+def test_registry_has_the_papers_five():
+    assert POLICY_NAMES == ("LRU", "RND", "FIFO", "DIP", "DRRIP")
+    for name in POLICY_NAMES:
+        policy = make_policy(name, 16, 4)
+        assert policy.num_sets == 16
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        make_policy("OPT", 16, 4)
+
+
+def test_case_insensitive():
+    assert make_policy("drrip", 8, 4).name == "DRRIP"
+
+
+def test_degenerate_shape_rejected():
+    with pytest.raises(ValueError):
+        make_policy("LRU", 0, 4)
+
+
+def test_lru_evicts_least_recent():
+    lru = make_policy("LRU", 1, 4)
+    for way in range(4):
+        lru.on_fill(0, way)
+    lru.on_hit(0, 0)
+    assert lru.victim(0) == 1
+
+
+def test_fifo_ignores_hits():
+    fifo = make_policy("FIFO", 1, 4)
+    for way in range(4):
+        fifo.on_fill(0, way)
+    fifo.on_hit(0, 0)
+    fifo.on_hit(0, 0)
+    assert fifo.victim(0) == 0          # still first-in
+
+
+def test_random_is_seed_deterministic():
+    a = make_policy("RND", 1, 8, seed=9)
+    b = make_policy("RND", 1, 8, seed=9)
+    assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+
+def test_nru_prefers_unreferenced():
+    nru = make_policy("NRU", 1, 4)
+    nru.on_fill(0, 0)
+    nru.on_fill(0, 1)
+    assert nru.victim(0) == 2           # never referenced
+    for way in range(4):
+        nru.on_hit(0, way)
+    assert nru.victim(0) == 0           # all referenced: clears and picks 0
+
+
+def test_srrip_promotes_on_hit():
+    srrip = make_policy("SRRIP", 1, 2)
+    srrip.on_fill(0, 0)
+    srrip.on_fill(0, 1)
+    srrip.on_hit(0, 0)                  # way 0 promoted to "near"
+    assert srrip.victim(0) == 1
+
+
+def _thrash_hit_rate(policy_name, ways=16, sets=64, passes=8,
+                     overshoot=1.25):
+    """Steady-state hit rate of a cyclic scan bigger than the cache."""
+    config = CacheConfig(name="L", size_bytes=sets * ways * 64, ways=ways)
+    cache = Cache(config, make_policy(policy_name, sets, ways, seed=0))
+    lines = int(sets * ways * overshoot)
+    rng = random.Random(0)
+    order = list(range(lines))
+    rng.shuffle(order)
+    marker = None
+    now = 0
+    for p in range(passes):
+        for line in order:
+            cache.access(line * 64, now)
+            now += 10
+        if p == passes - 3:
+            marker = (cache.stats.demand_hits, cache.stats.demand_misses)
+    hits = cache.stats.demand_hits - marker[0]
+    misses = cache.stats.demand_misses - marker[1]
+    return hits / (hits + misses)
+
+
+def test_lru_and_fifo_thrash_on_cyclic_overflow():
+    """The canonical DIP observation: LRU gets ~0 % on a cyclic scan."""
+    assert _thrash_hit_rate("LRU") < 0.05
+    assert _thrash_hit_rate("FIFO") < 0.05
+
+
+def test_thrash_resistant_policies_keep_hits():
+    assert _thrash_hit_rate("DIP") > 0.4
+    assert _thrash_hit_rate("DRRIP") > 0.4
+    assert _thrash_hit_rate("LIP") > 0.5
+    assert _thrash_hit_rate("BIP") > 0.4
+    assert _thrash_hit_rate("RND") > 0.3
+
+
+def test_lru_wins_on_fitting_working_set():
+    """When the set fits, LRU keeps everything (DIP follows suit)."""
+    assert _thrash_hit_rate("LRU", overshoot=0.9, passes=6) > 0.95
+    assert _thrash_hit_rate("DIP", overshoot=0.9, passes=6) > 0.90
+
+
+def test_set_dueling_monitor_leaders_disjoint():
+    duel = SetDuelingMonitor(64, leaders_per_policy=8)
+    a = {s for s in range(64) if duel.is_leader_a(s)}
+    b = {s for s in range(64) if duel.is_leader_b(s)}
+    assert a and b
+    assert not a & b
+
+
+def test_set_dueling_steers_followers():
+    duel = SetDuelingMonitor(64, leaders_per_policy=8, psel_bits=4)
+    a_leader = next(s for s in range(64) if duel.is_leader_a(s))
+    b_leader = next(s for s in range(64) if duel.is_leader_b(s))
+    follower = next(s for s in range(64)
+                    if not duel.is_leader_a(s) and not duel.is_leader_b(s))
+    for _ in range(20):
+        duel.record_miss(a_leader)      # policy A keeps missing
+    assert not duel.use_policy_a(follower)
+    for _ in range(40):
+        duel.record_miss(b_leader)      # now B misses more
+    assert duel.use_policy_a(follower)
+    # Leaders always use their own policy regardless of PSEL.
+    assert duel.use_policy_a(a_leader)
+    assert not duel.use_policy_a(b_leader)

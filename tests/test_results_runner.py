@@ -1,0 +1,93 @@
+"""PopulationResults storage and SimulationCampaign memoisation."""
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.sim.results import PopulationResults
+from repro.sim.runner import SimulationCampaign
+
+from tests.conftest import TEST_TRACE_LENGTH
+
+
+def test_record_and_read():
+    results = PopulationResults(2, "detailed")
+    w = Workload(["a", "b"])
+    results.record("LRU", w, [1.0, 2.0])
+    assert results.ipcs("LRU", w) == [1.0, 2.0]
+    assert results.policies == ["LRU"]
+    assert results.has("LRU", w)
+    assert not results.has("DIP", w)
+
+
+def test_arity_validated():
+    results = PopulationResults(2, "detailed")
+    with pytest.raises(ValueError):
+        results.record("LRU", Workload(["a", "b"]), [1.0])
+
+
+def test_common_workloads():
+    results = PopulationResults(2, "x")
+    w1, w2 = Workload(["a", "a"]), Workload(["a", "b"])
+    results.record("LRU", w1, [1, 1])
+    results.record("LRU", w2, [1, 1])
+    results.record("DIP", w1, [1, 1])
+    assert results.common_workloads() == [w1]
+
+
+def test_json_roundtrip(tmp_path):
+    results = PopulationResults(4, "badco")
+    w = Workload(["mcf", "gcc", "gcc", "povray"])
+    results.record("DRRIP", w, [0.1, 0.5, 0.5, 1.4])
+    results.record_reference("mcf", 0.2)
+    path = tmp_path / "results.json"
+    results.save(path)
+    loaded = PopulationResults.load(path)
+    assert loaded.cores == 4
+    assert loaded.simulator == "badco"
+    assert loaded.ipcs("DRRIP", w) == [0.1, 0.5, 0.5, 1.4]
+    assert loaded.reference["mcf"] == 0.2
+
+
+def test_campaign_memoises_runs():
+    campaign = SimulationCampaign("badco", 2, trace_length=TEST_TRACE_LENGTH)
+    w = Workload(["povray", "hmmer"])
+    first = campaign.run_workload(w, "LRU")
+    simulations = campaign.timing.simulations
+    second = campaign.run_workload(w, "LRU")
+    assert first == second
+    assert campaign.timing.simulations == simulations    # no re-run
+
+
+def test_campaign_grid_and_reference():
+    campaign = SimulationCampaign("badco", 2, trace_length=TEST_TRACE_LENGTH)
+    workloads = [Workload(["povray", "povray"]), Workload(["povray", "hmmer"])]
+    results = campaign.run_grid(workloads, ["LRU", "FIFO"])
+    assert len(results) == 4
+    refs = campaign.reference_ipcs(["povray"])
+    assert refs["povray"] > 0
+
+
+def test_campaign_disk_cache(tmp_path):
+    w = Workload(["povray", "hmmer"])
+    first = SimulationCampaign("badco", 2, trace_length=TEST_TRACE_LENGTH,
+                               cache_dir=tmp_path)
+    ipcs = first.run_workload(w, "LRU")
+    first.save()
+    second = SimulationCampaign("badco", 2, trace_length=TEST_TRACE_LENGTH,
+                                cache_dir=tmp_path)
+    assert second.results.has("LRU", w)
+    assert second.run_workload(w, "LRU") == ipcs
+    assert second.timing.simulations == 0
+
+
+def test_unknown_simulator_rejected():
+    with pytest.raises(ValueError):
+        SimulationCampaign("zesto", 2)
+
+
+def test_campaign_timing_mips():
+    campaign = SimulationCampaign("detailed", 2,
+                                  trace_length=TEST_TRACE_LENGTH)
+    campaign.run_workload(Workload(["povray", "povray"]), "LRU")
+    assert campaign.timing.mips > 0
+    assert campaign.timing.instructions >= 2 * TEST_TRACE_LENGTH

@@ -1,0 +1,57 @@
+"""Stratum allocation: largest remainder and Neyman."""
+
+import pytest
+
+from repro.core.sampling.allocation import (
+    largest_remainder_allocation,
+    neyman_allocation,
+)
+
+
+def test_allocation_sums_to_total():
+    counts = largest_remainder_allocation([3.0, 1.0, 1.0], 10)
+    assert sum(counts) == 10
+
+
+def test_exact_proportions_preserved():
+    assert largest_remainder_allocation([1.0, 1.0], 4) == [2, 2]
+    assert largest_remainder_allocation([3.0, 1.0], 4) == [3, 1]
+
+
+def test_largest_remainders_win_ties():
+    counts = largest_remainder_allocation([1.0, 1.0, 1.0], 2)
+    assert sum(counts) == 2
+    assert max(counts) == 1     # nobody gets 2 while another has 0
+
+
+def test_zero_total():
+    assert largest_remainder_allocation([1.0, 2.0], 0) == [0, 0]
+
+
+def test_rejects_nonpositive_shares():
+    with pytest.raises(ValueError):
+        largest_remainder_allocation([0.0, 0.0], 5)
+    with pytest.raises(ValueError):
+        largest_remainder_allocation([1.0], -1)
+
+
+def test_neyman_prefers_high_variance_strata():
+    counts = neyman_allocation([100, 100], [0.1, 0.9], 10)
+    assert counts[1] > counts[0]
+    assert sum(counts) == 10
+
+
+def test_neyman_degenerates_to_proportional_when_equal_std():
+    assert neyman_allocation([30, 10], [1.0, 1.0], 4) == \
+        largest_remainder_allocation([30.0, 10.0], 4)
+
+
+def test_neyman_handles_all_zero_std():
+    counts = neyman_allocation([30, 10], [0.0, 0.0], 4)
+    assert sum(counts) == 4
+    assert counts[0] > counts[1]
+
+
+def test_neyman_validates_lengths():
+    with pytest.raises(ValueError):
+        neyman_allocation([1, 2], [0.5], 3)

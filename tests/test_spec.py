@@ -1,0 +1,66 @@
+"""The synthetic SPEC suite table."""
+
+import pytest
+
+from repro.bench.spec import (
+    BenchmarkSpec,
+    MemoryPattern,
+    MpkiClass,
+    SPEC_2006,
+    TABLE_IV,
+    benchmark_by_name,
+    benchmark_names,
+)
+
+
+def test_suite_has_22_benchmarks():
+    assert len(SPEC_2006) == 22
+    assert len(set(benchmark_names())) == 22
+
+
+def test_table_iv_structure():
+    """11 low, 5 medium, 6 high -- the paper's Table IV."""
+    assert len(TABLE_IV[MpkiClass.LOW]) == 11
+    assert len(TABLE_IV[MpkiClass.MEDIUM]) == 5
+    assert len(TABLE_IV[MpkiClass.HIGH]) == 6
+
+
+def test_spec_classes_match_table_iv():
+    for cls, names in TABLE_IV.items():
+        for name in names:
+            assert benchmark_by_name(name).mpki_class is cls, name
+
+
+def test_lookup_by_name():
+    assert benchmark_by_name("mcf").name == "mcf"
+    with pytest.raises(KeyError):
+        benchmark_by_name("doom3")
+
+
+def test_mix_fractions_valid():
+    for spec in SPEC_2006:
+        assert 0 <= spec.int_fraction <= 1
+        total = (spec.load_fraction + spec.store_fraction
+                 + spec.branch_fraction + spec.fp_fraction
+                 + spec.int_fraction)
+        assert total == pytest.approx(1.0)
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(ValueError):
+        BenchmarkSpec("bad", MpkiClass.LOW, load_fraction=0.9,
+                      store_fraction=0.9)
+
+
+def test_tiny_working_set_rejected():
+    with pytest.raises(ValueError):
+        BenchmarkSpec("bad", MpkiClass.LOW, working_set=32)
+
+
+def test_class_working_set_shapes():
+    """Low benchmarks are (near) L1-resident; high ones far exceed it."""
+    for spec in SPEC_2006:
+        if spec.mpki_class is MpkiClass.LOW:
+            assert spec.working_set <= 8 * 1024
+        if spec.mpki_class is MpkiClass.HIGH:
+            assert spec.working_set >= 48 * 1024

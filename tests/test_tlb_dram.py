@@ -1,0 +1,86 @@
+"""TLBs, page tables and the FSB/DRAM model."""
+
+import pytest
+
+from repro.mem.dram import MemoryConfig, MemoryInterface
+from repro.mem.tlb import FrameAllocator, PageTable, Tlb, TlbConfig
+
+
+def test_page_table_lazy_allocation():
+    table = PageTable(FrameAllocator())
+    a = table.translate(0x1000_0000)
+    b = table.translate(0x1000_0004)
+    assert b == a + 4                   # same page, same frame
+    assert table.pages_mapped == 1
+    table.translate(0x2000_0000)
+    assert table.pages_mapped == 2
+
+
+def test_threads_never_share_frames():
+    allocator = FrameAllocator()
+    t1, t2 = PageTable(allocator), PageTable(allocator)
+    a = t1.translate(0x1000_0000)
+    b = t2.translate(0x1000_0000)       # same virtual page, other thread
+    assert a >> 12 != b >> 12
+
+
+def test_offsets_preserved():
+    table = PageTable(FrameAllocator())
+    assert table.translate(0x1234_5678) & 0xFFF == 0x678
+
+
+def test_tlb_hit_after_miss():
+    tlb = Tlb(TlbConfig(name="T", entries=8, ways=2, miss_penalty=30))
+    assert tlb.lookup(0x1000_0000) == 30
+    assert tlb.lookup(0x1000_0800) == 0     # same page
+    assert tlb.misses == 1 and tlb.hits == 1
+
+
+def test_tlb_capacity_eviction():
+    tlb = Tlb(TlbConfig(name="T", entries=2, ways=2, miss_penalty=30))
+    # Three pages mapping to one set of two ways: first gets evicted.
+    pages = [0x0, 0x1000 * 2, 0x1000 * 4]
+    for page in pages:
+        tlb.lookup(page)
+    assert tlb.lookup(pages[0]) == 30       # was evicted (LRU)
+
+
+def test_tlb_config_validation():
+    with pytest.raises(ValueError):
+        TlbConfig(name="T", entries=2, ways=4).num_sets
+
+
+def test_bus_transfer_cycles():
+    """64-byte line over an 8-byte 800 MHz bus at 3 GHz: 30 cycles."""
+    config = MemoryConfig()
+    assert config.transfer_cycles == 30
+
+
+def test_read_latency():
+    memory = MemoryInterface()
+    done = memory.access(0x1000, 0, is_write=False)
+    assert done == 0 + memory.config.dram_latency
+
+
+def test_bus_serialises_requests():
+    memory = MemoryInterface()
+    first = memory.access(0x0, 0, False)
+    second = memory.access(0x40, 0, False)
+    assert second == first + memory.config.transfer_cycles
+
+
+def test_writes_are_posted():
+    memory = MemoryInterface()
+    assert memory.access(0x0, 5, True) == 5
+    assert memory.writes == 1
+    # ...but they still occupy the bus.
+    read = memory.access(0x40, 5, False)
+    assert read > 5 + memory.config.dram_latency
+
+
+def test_transfer_accounting():
+    memory = MemoryInterface()
+    memory.access(0x0, 0, False)
+    memory.access(0x40, 0, True)
+    assert memory.total_transfers == 2
+    assert memory.busy_cycles == 2 * memory.config.transfer_cycles

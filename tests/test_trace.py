@@ -1,0 +1,41 @@
+"""Trace records and containers."""
+
+import pytest
+
+from repro.bench.trace import Trace, Uop, UopKind
+
+
+def test_uop_memory_flag():
+    assert Uop(UopKind.LOAD, 0x400, (), address=0x1000).is_memory
+    assert Uop(UopKind.STORE, 0x400, (), address=0x1000).is_memory
+    assert not Uop(UopKind.INT_ALU, 0x400, ()).is_memory
+
+
+def test_latencies_positive():
+    for kind in UopKind:
+        assert Uop(kind, 0, ()).latency >= 1
+
+
+def test_fp_slower_than_int():
+    assert Uop(UopKind.FP_ALU, 0, ()).latency > Uop(UopKind.INT_ALU, 0, ()).latency
+
+
+def test_trace_container():
+    uops = [Uop(UopKind.INT_ALU, 4 * i, ()) for i in range(10)]
+    trace = Trace("test", uops, seed=3)
+    assert len(trace) == 10
+    assert trace[3].pc == 12
+    assert trace.count(UopKind.INT_ALU) == 10
+    assert trace.seed == 3
+
+
+def test_memory_footprint_counts_lines():
+    uops = [Uop(UopKind.LOAD, 0, (), address=a)
+            for a in (0, 32, 64, 100, 128)]   # lines 0, 0, 1, 1, 2
+    assert Trace("t", uops).memory_footprint() == 3
+
+
+def test_trace_is_immutable():
+    trace = Trace("t", [Uop(UopKind.NOP, 0, ())])
+    with pytest.raises(TypeError):
+        trace.uops[0] = None

@@ -1,0 +1,81 @@
+"""The shared uncore."""
+
+import pytest
+
+from repro.mem.uncore import (
+    CAPACITY_SCALE,
+    Uncore,
+    UncoreConfig,
+    uncore_config_for_cores,
+)
+
+
+def test_table_ii_scaled_sizes():
+    """1 MB / 2 MB / 4 MB scaled by 16, latencies 5/6/7."""
+    for cores, size_kb, latency in ((2, 64, 5), (4, 128, 6), (8, 256, 7)):
+        config = uncore_config_for_cores(cores)
+        assert config.llc_size == size_kb * 1024
+        assert config.llc_latency == latency
+        assert config.llc_ways == 16
+
+
+def test_single_core_uses_reference_uncore():
+    assert uncore_config_for_cores(1).llc_size == \
+        uncore_config_for_cores(2).llc_size
+
+
+def test_unknown_core_count_rejected():
+    with pytest.raises(ValueError):
+        uncore_config_for_cores(3)
+
+
+def test_with_policy_copies():
+    base = uncore_config_for_cores(4, "LRU")
+    other = base.with_policy("DRRIP")
+    assert other.policy == "DRRIP"
+    assert base.policy == "LRU"
+    assert other.llc_size == base.llc_size
+
+
+def test_per_core_address_spaces_do_not_alias():
+    """Same virtual line from two cores -> two LLC lines (two misses)."""
+    uncore = Uncore(uncore_config_for_cores(2))
+    uncore.access(0, 0x1000_0000, 0)
+    uncore.access(1, 0x1000_0000, 1000)
+    assert uncore.llc_demand_misses == 2
+
+
+def test_same_core_hits_its_own_line():
+    uncore = Uncore(uncore_config_for_cores(2))
+    done = uncore.access(0, 0x1000_0000, 0)
+    uncore.access(0, 0x1000_0000, done + 1)
+    assert uncore.llc_demand_misses == 1
+    assert uncore.llc.stats.demand_hits == 1
+
+
+def test_requests_counted_per_core():
+    uncore = Uncore(uncore_config_for_cores(2))
+    uncore.access(0, 0x0, 0)
+    uncore.access(0, 0x40, 10)
+    uncore.access(1, 0x0, 20)
+    assert uncore.requests_per_core == [2, 1]
+
+
+def test_prefetch_requests_do_not_count_demand():
+    uncore = Uncore(uncore_config_for_cores(2))
+    uncore.access(0, 0x1000_0000, 0, is_prefetch=True)
+    assert uncore.llc_demand_misses == 0
+    assert uncore.llc.stats.prefetch_issued == 1
+
+
+def test_reset_statistics():
+    uncore = Uncore(uncore_config_for_cores(2))
+    uncore.access(0, 0x0, 0)
+    uncore.reset_statistics()
+    assert uncore.llc_demand_misses == 0
+    assert uncore.requests_per_core == [0, 0]
+
+
+def test_policy_is_constructed_from_config():
+    uncore = Uncore(uncore_config_for_cores(4, "DRRIP"))
+    assert uncore.llc.policy.name == "DRRIP"

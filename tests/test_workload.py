@@ -1,0 +1,48 @@
+"""Workload: canonical multiset semantics."""
+
+import pytest
+
+from repro.core.workload import Workload
+
+
+def test_order_does_not_matter():
+    assert Workload(["mcf", "gcc"]) == Workload(["gcc", "mcf"])
+
+
+def test_hash_consistent_with_eq():
+    assert hash(Workload(["a", "b"])) == hash(Workload(["b", "a"]))
+
+
+def test_duplicates_allowed():
+    w = Workload(["gcc", "gcc", "mcf"])
+    assert w.k == 3
+    assert w.counts() == {"gcc": 2, "mcf": 1}
+
+
+def test_benchmarks_sorted():
+    assert Workload(["z", "a", "m"]).benchmarks == ("a", "m", "z")
+
+
+def test_key_roundtrip():
+    w = Workload(["mcf", "gcc", "mcf"])
+    assert Workload.from_key(w.key()) == w
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        Workload([])
+
+
+def test_iteration_and_indexing():
+    w = Workload(["b", "a"])
+    assert list(w) == ["a", "b"]
+    assert w[0] == "a"
+    assert len(w) == 2
+
+
+def test_ordering_is_lexicographic():
+    assert Workload(["a", "b"]) < Workload(["a", "c"])
+
+
+def test_repr_mentions_benchmarks():
+    assert "mcf" in repr(Workload(["mcf"]))
