@@ -3,27 +3,24 @@
 
 The paper's method needs *a* fast, qualitatively accurate simulator;
 it uses BADCO but notes others (e.g. Sniper) work too.  This example
-puts the repository's two approximate simulator families side by side
-on a handful of benchmarks:
+drives the repository's backend registry (``repro.api.BACKENDS``) to
+put every registered family side by side on a handful of benchmarks:
 
-- BADCO: two detailed training runs per benchmark, per-node latency
+- ``detailed``: the ground truth;
+- ``badco``: two detailed training runs per benchmark, per-node latency
   sensitivities -- more accurate, costlier to build;
-- interval model: one training run, idealised memory-level parallelism
-  (a group of misses inside one ROB window costs one latency) --
-  cheaper, coarser.
+- ``interval``: one training run, idealised memory-level parallelism (a
+  group of misses inside one ROB window costs one latency) -- cheaper,
+  coarser.
 
 The printout shows per-benchmark IPC against the detailed simulator's
-ground truth, plus model-building cost.
+ground truth, plus model-building cost.  Every registered approximate
+backend joins the comparison, so one registered at runtime with
+:func:`repro.register_backend` (before ``main()`` runs) appears
+automatically.
 """
 
-from repro import (
-    BadcoModelBuilder,
-    BadcoSimulator,
-    DetailedSimulator,
-    IntervalProfileBuilder,
-    IntervalSimulator,
-    Workload,
-)
+from repro import Workload, backend_names, get_backend
 
 LENGTH = 8000
 BENCHMARKS = ("povray", "hmmer", "gcc", "astar", "omnetpp", "mcf",
@@ -31,35 +28,36 @@ BENCHMARKS = ("povray", "hmmer", "gcc", "astar", "omnetpp", "mcf",
 
 
 def main() -> None:
-    badco_builder = BadcoModelBuilder(trace_length=LENGTH)
-    interval_builder = IntervalProfileBuilder(trace_length=LENGTH)
+    # Every registered backend except the ground truth, read at run
+    # time so backends registered before main() join the comparison.
+    approx = tuple(n for n in backend_names() if n != "detailed")
+    builders = {name: get_backend(name).make_builder(LENGTH, 0)
+                for name in approx}
 
-    print(f"{'benchmark':>12}  {'detailed':>8}  {'badco':>8}  "
-          f"{'interval':>8}  {'badco err':>9}  {'intvl err':>9}")
-    badco_errors = []
-    interval_errors = []
-    for name in BENCHMARKS:
-        workload = Workload([name])
-        detailed = DetailedSimulator(cores=1, trace_length=LENGTH)
-        ipc_det = detailed.run(workload).ipcs[0]
-        badco = BadcoSimulator(cores=1, builder=badco_builder,
-                               trace_length=LENGTH)
-        ipc_badco = badco.run(workload).ipcs[0]
-        interval = IntervalSimulator(cores=1, builder=interval_builder,
-                                     trace_length=LENGTH)
-        ipc_interval = interval.run(workload).ipcs[0]
-        err_b = abs(ipc_badco - ipc_det) / ipc_det * 100
-        err_i = abs(ipc_interval - ipc_det) / ipc_det * 100
-        badco_errors.append(err_b)
-        interval_errors.append(err_i)
-        print(f"{name:>12}  {ipc_det:8.3f}  {ipc_badco:8.3f}  "
-              f"{ipc_interval:8.3f}  {err_b:8.1f}%  {err_i:8.1f}%")
+    print(f"{'benchmark':>12}  {'detailed':>8}  "
+          + "  ".join(f"{n:>8}" for n in approx)
+          + "  " + "  ".join(f"{n + ' err':>9}" for n in approx))
+    errors = {name: [] for name in approx}
+    for benchmark in BENCHMARKS:
+        workload = Workload([benchmark])
+        reference = get_backend("detailed").make_simulator(
+            1, "LRU", LENGTH, seed=0).run(workload).ipcs[0]
+        ipcs = {}
+        for name in approx:
+            simulator = get_backend(name).make_simulator(
+                1, "LRU", LENGTH, seed=0, builder=builders[name])
+            ipcs[name] = simulator.run(workload).ipcs[0]
+            errors[name].append(
+                abs(ipcs[name] - reference) / reference * 100)
+        print(f"{benchmark:>12}  {reference:8.3f}  "
+              + "  ".join(f"{ipcs[n]:8.3f}" for n in approx)
+              + "  " + "  ".join(f"{errors[n][-1]:8.1f}%" for n in approx))
 
-    print(f"\nmean IPC error:  badco {sum(badco_errors)/len(badco_errors):.1f} %   "
-          f"interval {sum(interval_errors)/len(interval_errors):.1f} %")
-    print(f"training cost:   badco {badco_builder.training_uops} uops "
-          f"(2 runs/benchmark)   interval {interval_builder.training_uops} "
-          f"uops (1 run/benchmark)")
+    print("\nmean IPC error:  " + "   ".join(
+        f"{n} {sum(e) / len(e):.1f} %" for n, e in errors.items()))
+    print("training cost:   " + "   ".join(
+        f"{n} {getattr(builders[n], 'training_uops', 0)} uops"
+        for n in approx))
     print("\nBADCO buys accuracy with a second training run and per-node "
           "sensitivities;\nthe interval model is the cheap-and-cheerful "
           "alternative.  Either can drive\nthe paper's workload-"

@@ -10,37 +10,24 @@ answer that credibly?
 
 Workflow (all approximate simulation, SMALL scale):
 
-1. run the population under DRRIP and SHIP with BADCO;
+1. ``Session.study`` runs the population under DRRIP and SHIP with the
+   BADCO backend;
 2. the pair is close (small |1/cv|), so the guideline routes to
    workload stratification;
 3. show the confidence a 15-workload stratified sample achieves vs a
    15-workload random sample.
 """
 
-from repro import (
-    ExperimentContext,
-    IPCT,
-    PolicyComparisonStudy,
-    Scale,
-    SimpleRandomSampling,
-    WorkloadStratification,
-)
+from repro import Session, SimpleRandomSampling, WorkloadStratification
 
 
 def main() -> None:
-    context = ExperimentContext(Scale.SMALL, seed=0)
+    session = Session(scale="small", seed=0)
     cores = 2
-    population = context.population(cores)
+    population = session.population(cores)
 
     print("BADCO population run: DRRIP (baseline) vs SHIP (candidate)...")
-    campaign = context.campaign("badco", cores)
-    campaign.run_grid(population, ["DRRIP", "SHIP"])
-    campaign.reference_ipcs(context.benchmarks)
-    results = campaign.results
-
-    study = PolicyComparisonStudy(
-        population, results.ipc_table("DRRIP"), results.ipc_table("SHIP"),
-        IPCT, results.reference)
+    study = session.study("DRRIP", "SHIP", metric="IPCT", cores=cores)
     print(f"  1/cv = {study.inverse_cv:+.3f}   "
           f"(SHIP wins on population: {study.y_outperforms_x()})")
     decision = study.guideline(stratified_sample_size=15)

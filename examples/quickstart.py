@@ -1,45 +1,36 @@
 #!/usr/bin/env python
 """Quickstart: is DRRIP better than LRU, and how many workloads prove it?
 
-This walks the paper's core loop on a small scale (a 2-core machine,
-the full 253-workload population, the fast BADCO simulator):
+One :class:`repro.Session` call chain walks the paper's core loop on a
+small scale (a 2-core machine, the full population, the fast BADCO
+simulator backend):
 
-1. simulate the whole workload population under both LLC policies;
-2. build the per-workload throughput difference d(w);
-3. read off the coefficient of variation and the analytical degree of
-   confidence (eq. 5) for a few sample sizes;
-4. ask the Section VII guideline what an experimenter should do.
+1. ``session.study("LRU", "DRRIP", ...)`` simulates the whole workload
+   population under both LLC policies and builds the per-workload
+   throughput difference d(w);
+2. the returned study exposes the coefficient of variation and the
+   analytical degree of confidence (eq. 5) for any sample size;
+3. the Section VII guideline says what an experimenter should do.
 
-Runs in a few minutes from scratch; results are cached on disk, so the
-second run is instant.
+Runs in a minute from scratch; results are cached on disk
+(``REPRO_CACHE_DIR``), so the second run is instant.  Try
+``backend="interval"`` or ``jobs=4`` to swap the simulator family or
+parallelise the campaign -- the results are bit-identical for any
+``jobs``.
 """
 
-from repro import (
-    ExperimentContext,
-    IPCT,
-    PolicyComparisonStudy,
-    Scale,
-    SimpleRandomSampling,
-)
+from repro import Session, SimpleRandomSampling
 
 
 def main() -> None:
-    context = ExperimentContext(Scale.SMALL, seed=0)
+    session = Session(scale="small", seed=0)
     cores = 2
 
     print("Simulating the workload population with BADCO (LRU + DRRIP)...")
-    results = context.badco_population_results(cores)
-    population = context.population(cores)
-    print(f"  population: {len(population)} workloads, "
-          f"{len(results.policies)} policies\n")
-
-    study = PolicyComparisonStudy(
-        population,
-        results.ipc_table("LRU"),
-        results.ipc_table("DRRIP"),
-        IPCT,
-        results.reference,
-    )
+    study = session.study("LRU", "DRRIP", metric="IPCT", cores=cores,
+                          backend="badco")
+    population = session.population(cores)
+    print(f"  population: {len(population)} workloads\n")
 
     print(f"DRRIP vs LRU under {study.metric.name}:")
     print(f"  mean d(w)          = {study.statistics.mean:+.5f}")

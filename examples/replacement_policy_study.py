@@ -6,27 +6,20 @@ the "new" design, since it is not part of the paper's five) and want to
 know -- with controlled simulation cost -- whether it beats the LRU
 baseline on a 2-core CMP.
 
-The Section VII recipe:
+The Section VII recipe, driven through one :class:`repro.Session`:
 
 1. simulate a large workload sample with the *fast approximate*
-   simulator (BADCO) for both machines;
+   backend (``badco``) for both machines;
 2. estimate cv of d(w); route via the guideline
    (cv > 10 equivalent / cv < 2 random / else workload stratification);
 3. build the small detailed-simulation sample accordingly;
-4. run the *detailed* simulator only on that small sample and take the
+4. run the *detailed* backend only on that small sample and take the
    verdict (weighted throughput difference).
 """
 
 import random
 
-from repro import (
-    BalancedRandomSampling,
-    ExperimentContext,
-    IPCT,
-    PolicyComparisonStudy,
-    Scale,
-    WorkloadStratification,
-)
+from repro import BalancedRandomSampling, Session, WorkloadStratification
 from repro.core.planner import Recommendation
 
 
@@ -35,20 +28,14 @@ NEW_POLICY = "NRU"
 
 
 def main() -> None:
-    context = ExperimentContext(Scale.SMALL, seed=0)
+    session = Session(scale="small", seed=0)
     cores = 2
-    population = context.population(cores)
+    population = session.population(cores)
 
     print(f"Step 1: BADCO population run ({len(population)} workloads, "
           f"{BASELINE} vs {NEW_POLICY})...")
-    campaign = context.campaign("badco", cores)
-    campaign.run_grid(population, [BASELINE, NEW_POLICY])
-    campaign.reference_ipcs(context.benchmarks)
-    results = campaign.results
-
-    study = PolicyComparisonStudy(
-        population, results.ipc_table(BASELINE),
-        results.ipc_table(NEW_POLICY), IPCT, results.reference)
+    study = session.study(BASELINE, NEW_POLICY, metric="IPCT", cores=cores,
+                          backend="badco")
     decision = study.guideline(stratified_sample_size=12)
     print(f"  1/cv = {study.inverse_cv:+.3f}  ->  "
           f"{decision.recommendation.value}")
@@ -71,18 +58,19 @@ def main() -> None:
 
     print(f"\nStep 3: detailed simulation of the {len(sample)} selected "
           f"workloads only...")
-    detailed = context.campaign("detailed", cores)
-    detailed.run_grid(set(sample.workloads), [BASELINE, NEW_POLICY])
-    detailed.reference_ipcs(context.benchmarks)
+    results = session.results("detailed", cores,
+                              policies=[BASELINE, NEW_POLICY],
+                              workloads=sorted(set(sample.workloads)))
 
     variable = study.delta_variable
     values = []
     for workload in sample.workloads:
         values.append(variable.value(
             workload,
-            detailed.results.ipcs(BASELINE, workload),
-            detailed.results.ipcs(NEW_POLICY, workload)))
+            results.ipcs(BASELINE, workload),
+            results.ipcs(NEW_POLICY, workload)))
     verdict = sample.weighted_mean(values)
+    detailed = session.campaign("detailed", cores)
     print(f"\nDetailed-simulation verdict on D = mean d(w): {verdict:+.5f}")
     print(f"=> {NEW_POLICY} {'outperforms' if verdict > 0 else 'does not outperform'} "
           f"{BASELINE} (judged on {len(sample)} detailed workloads instead "

@@ -2,18 +2,18 @@
 """Plan detailed-simulation budgets for every policy pair and metric.
 
 For each of the 10 policy pairs of the paper's case study, estimate cv
-from a BADCO population and print the random-sampling sample size
-W = 8 cv^2 each throughput metric requires -- the paper's point that
-*different metrics need different sample sizes* (Section V-C), plus the
-CPU-hours this translates to via the Section VII-A overhead model.
+from a BADCO population (one ``Session.results`` call) and print the
+random-sampling sample size W = 8 cv^2 each throughput metric requires
+-- the paper's point that *different metrics need different sample
+sizes* (Section V-C), plus the CPU-hours this translates to via the
+Section VII-A overhead model.
 """
 
 from repro import (
     DeltaVariable,
-    ExperimentContext,
     METRICS,
     OverheadModel,
-    Scale,
+    Session,
     delta_statistics,
     required_sample_size,
 )
@@ -21,10 +21,10 @@ from repro.experiments.common import POLICY_PAIRS
 
 
 def main() -> None:
-    context = ExperimentContext(Scale.SMALL, seed=0)
+    session = Session(scale="small", seed=0)
     cores = 2
-    results = context.badco_population_results(cores)
-    population = list(context.population(cores))
+    results = session.results("badco", cores)
+    population = list(session.population(cores))
 
     print(f"Required random-sample size W = 8 cv^2 per metric "
           f"({cores}-core population of {len(population)}):\n")

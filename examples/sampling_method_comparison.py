@@ -4,6 +4,10 @@
 For DIP vs LRU on 2 cores, measure -- by Monte-Carlo resampling from a
 BADCO-simulated population -- how quickly each sampling method's
 verdict becomes decisive as the sample grows.
+
+The experiment drivers still take an :class:`ExperimentContext`; its
+``.session`` attribute is the underlying :class:`repro.Session`, so the
+two interoperate without re-simulating anything.
 """
 
 from repro import (
@@ -23,9 +27,10 @@ from repro.experiments.table4_classification import run as run_table4
 
 def main() -> None:
     context = ExperimentContext(Scale.SMALL, seed=0)
+    session = context.session
     cores = 2
-    results = context.badco_population_results(cores)
-    population = context.population(cores)
+    results = session.results("badco", cores)
+    population = session.population(cores)
 
     variable = DeltaVariable(IPCT, results.reference)
     delta = variable.table(list(population), results.ipc_table("LRU"),

@@ -4,6 +4,10 @@ A full reproduction of Velasquez, Michaud & Seznec, "Selecting
 Benchmark Combinations for the Evaluation of Multicore Throughput"
 (ISPASS 2013), as a reusable library:
 
+- ``repro.api`` -- the public face: the :class:`Session` facade, the
+  pluggable simulator-backend registry (``detailed`` / ``badco`` /
+  ``interval``), frozen :class:`CampaignConfig` campaign identities and
+  the serial/parallel campaign engine.
 - ``repro.core`` -- the paper's contribution: throughput metrics, the
   CLT confidence model (W = 8 cv^2), four workload-sampling methods
   (random, balanced random, benchmark stratification, workload
@@ -13,21 +17,20 @@ Benchmark Combinations for the Evaluation of Multicore Throughput"
 - ``repro.cpu`` / ``repro.mem`` -- the detailed out-of-order core model
   and the memory hierarchy (caches, LRU/RND/FIFO/DIP/DRRIP replacement,
   prefetchers, TLBs, DRAM, shared uncore).
-- ``repro.sim`` -- the detailed multicore simulator and the BADCO-style
-  fast approximate simulator, plus campaign infrastructure.
+- ``repro.sim`` -- the three simulator families behind the backends.
 - ``repro.experiments`` -- one driver per table / figure of the paper.
 
 Quickstart::
 
-    from repro import (ExperimentContext, IPCT, PolicyComparisonStudy,
-                       Scale, SimpleRandomSampling)
+    from repro import Session
 
-    context = ExperimentContext(Scale.SMALL)
-    results = context.badco_population_results(cores=2)
-    study = PolicyComparisonStudy(
-        context.population(2), results.ipc_table("LRU"),
-        results.ipc_table("DIP"), IPCT, results.reference)
+    session = Session(scale="small", seed=0, jobs=4)
+    study = session.study("LRU", "DIP", metric="IPCT", cores=2,
+                          backend="badco")
     print(study.inverse_cv, study.guideline())
+
+The pre-registry spellings (``ExperimentContext``,
+``SimulationCampaign``) remain importable as thin shims.
 """
 
 from repro.core import (
@@ -69,12 +72,28 @@ from repro.sim import (
     PopulationResults,
     SimulationCampaign,
 )
+from repro.api import (
+    BACKENDS,
+    Campaign,
+    CampaignConfig,
+    CampaignTiming,
+    Session,
+    SimulatorBackend,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.experiments import ExperimentContext, POLICY_PAIRS, Scale
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # api
+    "Session", "CampaignConfig", "Campaign", "CampaignTiming",
+    "BACKENDS", "SimulatorBackend", "UnknownBackendError",
+    "register_backend", "get_backend", "backend_names",
     # core
     "Workload", "WorkloadPopulation", "population_size",
     "ThroughputMetric", "IPCT", "WSU", "HSU", "METRICS", "metric_by_name",

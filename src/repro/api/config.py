@@ -1,0 +1,93 @@
+"""Campaign configuration: one frozen value object, one cache key.
+
+:class:`CampaignConfig` replaces the positional-argument sprawl of the
+old ``SimulationCampaign(simulator, cores, trace_length, seed, ...)``
+constructor.  Being frozen and hashable, a config doubles as the
+identity of a campaign: two campaigns with equal *simulation* fields
+are interchangeable, and :attr:`CampaignConfig.cache_key` names the
+on-disk cache entry they share.
+
+``jobs`` and ``cache_dir`` deliberately stay out of the cache key:
+parallelism must never change results (the engine guarantees
+bit-identical output for any ``jobs``), and the cache directory is a
+storage location, not an experiment parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bench.generator import DEFAULT_TRACE_LENGTH
+
+#: Results-format revision, part of every cache key.  Bump whenever a
+#: change alters simulated IPCs for identical configs, so stale caches
+#: are bypassed rather than silently served.  History:
+#: v2 -- replacement-policy RNGs seeded with crc32 instead of the
+#:       per-process-salted ``hash()`` (results before the fix were not
+#:       reproducible across processes and cannot be trusted).
+RESULTS_VERSION = 2
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that identifies one simulation campaign.
+
+    Attributes:
+        backend: simulator backend name (see ``repro.api.BACKENDS``).
+        cores: number of cores K.
+        trace_length: uops per thread.
+        seed: campaign seed (traces, policies, page layout).
+        warmup_fraction: per-thread unmeasured fraction.
+        jobs: worker processes for grid simulation; 1 = in-process
+            serial (the default), larger values use a process pool.
+        cache_dir: if set, results persist as JSON under this directory
+            keyed by :attr:`cache_key`.
+    """
+
+    backend: str = "badco"
+    cores: int = 2
+    trace_length: int = DEFAULT_TRACE_LENGTH
+    seed: int = 0
+    warmup_fraction: float = 0.25
+    jobs: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.trace_length < 1:
+            raise ValueError("trace_length must be >= 1")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.cache_dir is not None and not isinstance(self.cache_dir, Path):
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+    @property
+    def cache_key(self) -> str:
+        """Stable identity of the campaign's *results*.
+
+        Covers exactly the fields that determine IPC values plus
+        :data:`RESULTS_VERSION`; ``jobs`` and ``cache_dir`` are
+        excluded by design.  Caches written before the versioned
+        layout (no ``-v`` suffix) are deliberately not read: they
+        predate the deterministic policy seeding.
+        """
+        return (f"{self.backend}-k{self.cores}-l{self.trace_length}"
+                f"-s{self.seed}-w{int(self.warmup_fraction * 100)}"
+                f"-v{RESULTS_VERSION}")
+
+    @property
+    def cache_path(self) -> Optional[Path]:
+        """Where this campaign persists, or None without a cache_dir."""
+        if self.cache_dir is None:
+            return None
+        return Path(self.cache_dir) / f"{self.cache_key}.json"
+
+    def replace(self, **changes) -> "CampaignConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,249 @@
+"""The campaign engine: (workload x policy) grids, serial or parallel.
+
+:class:`Campaign` is the execution layer behind the public API.  It
+runs one simulator backend over a grid of workloads and policies,
+memoising per-(policy, workload) results in memory and optionally on
+disk, and accumulating the wall-clock / MIPS accounting behind the
+paper's Table III and the Section VII-A overhead example.
+
+With ``jobs=1`` (the default) grids run in-process, exactly as the
+historical ``SimulationCampaign`` did.  With ``jobs>1`` the pending
+cells are fanned out over a :class:`concurrent.futures.
+ProcessPoolExecutor`; each worker process constructs its own simulator
+(and lazily shares one model builder per process), and the parent
+merges worker results in the same order the serial path would have
+produced them -- so the resulting :class:`~repro.sim.results.
+PopulationResults` is bit-identical to a ``jobs=1`` run, down to its
+JSON serialisation.  Every simulation is independent (fresh uncore,
+fixed seeds), which is what makes this safe.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.backends import SimulatorBackend, get_backend
+from repro.api.config import CampaignConfig
+from repro.core.workload import Workload
+from repro.sim.results import PopulationResults
+
+
+@dataclass
+class CampaignTiming:
+    """Wall-clock accounting of a campaign (basis of Table III)."""
+
+    simulations: int = 0
+    instructions: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def mips(self) -> float:
+        """Simulation speed in million instructions per second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.instructions / 1e6 / self.wall_seconds
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  Each pool worker holds one backend, one
+# config and one lazily-created model builder; simulators are built per
+# task (cheap) while builders memoise per-benchmark training (the
+# expensive part) for the lifetime of the worker.
+
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _worker_init(backend: SimulatorBackend, config: CampaignConfig,
+                 builder: Optional[Any]) -> None:
+    _WORKER_STATE["backend"] = backend
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["builder"] = builder
+
+
+def _worker_simulate(task: Tuple[str, str]) -> Tuple[str, str, List[float],
+                                                     int, float]:
+    policy, workload_key = task
+    backend: SimulatorBackend = _WORKER_STATE["backend"]
+    config: CampaignConfig = _WORKER_STATE["config"]
+    builder = _WORKER_STATE["builder"]
+    if builder is None:
+        builder = backend.make_builder(config.trace_length, config.seed)
+        _WORKER_STATE["builder"] = builder
+    simulator = backend.make_simulator(
+        config.cores, policy, config.trace_length,
+        config.warmup_fraction, config.seed, builder=builder)
+    run = simulator.run(Workload.from_key(workload_key))
+    return policy, workload_key, run.ipcs, run.instructions, run.wall_seconds
+
+
+def _pool_context():
+    """Fork where available (fast, inherits trained models), else spawn."""
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+
+
+class Campaign:
+    """Runs workloads under several policies on one simulator backend.
+
+    Args:
+        config: the campaign's identity and execution knobs.
+        builder: shared model builder (for backends that use one);
+            defaults to a fresh one from the backend, trained lazily.
+    """
+
+    def __init__(self, config: CampaignConfig,
+                 builder: Optional[Any] = None) -> None:
+        self.config = config
+        self.backend = get_backend(config.backend)
+        self.builder = (builder if builder is not None
+                        else self.backend.make_builder(config.trace_length,
+                                                       config.seed))
+        self.timing = CampaignTiming()
+        self.results = PopulationResults(config.cores, config.backend)
+        self._loaded_from_cache = False
+        if config.cache_path is not None:
+            self._try_load()
+
+    # -- convenience views on the config -------------------------------
+
+    @property
+    def cores(self) -> int:
+        return self.config.cores
+
+    @property
+    def trace_length(self) -> int:
+        return self.config.trace_length
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def warmup_fraction(self) -> float:
+        return self.config.warmup_fraction
+
+    @property
+    def cache_dir(self):
+        return self.config.cache_dir
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+
+    def _try_load(self) -> None:
+        path = self.config.cache_path
+        if path.exists():
+            self.results = PopulationResults.load(path)
+            self._loaded_from_cache = True
+
+    def save(self) -> None:
+        """Persist results (no-op without a cache directory)."""
+        path = self.config.cache_path
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self.results.save(path)
+
+    # ------------------------------------------------------------------
+    # Simulation
+
+    def _make_simulator(self, policy: str):
+        return self.backend.make_simulator(
+            self.config.cores, policy, self.config.trace_length,
+            self.config.warmup_fraction, self.config.seed,
+            builder=self.builder)
+
+    def run_workload(self, workload: Workload, policy: str) -> List[float]:
+        """Per-core IPCs of one (workload, policy), memoised."""
+        if not self.results.has(policy, workload):
+            run = self._make_simulator(policy).run(workload)
+            self.timing.simulations += 1
+            self.timing.instructions += run.instructions
+            self.timing.wall_seconds += run.wall_seconds
+            self.results.record(policy, workload, run.ipcs)
+        return self.results.ipcs(policy, workload)
+
+    def run_grid(self, workloads: Iterable[Workload],
+                 policies: Sequence[str]) -> PopulationResults:
+        """Simulate every (workload, policy) pair; returns the results.
+
+        ``jobs=1`` runs in-process; ``jobs>1`` distributes the pending
+        cells over a process pool and merges deterministically (see
+        module docstring).
+        """
+        workloads = list(workloads)
+        if self.config.jobs == 1:
+            for workload in workloads:
+                for policy in policies:
+                    self.run_workload(workload, policy)
+            return self.results
+        return self._run_grid_parallel(workloads, policies)
+
+    def _run_grid_parallel(self, workloads: Sequence[Workload],
+                           policies: Sequence[str]) -> PopulationResults:
+        pending: List[Tuple[str, str]] = []
+        seen = set()
+        for workload in workloads:
+            for policy in policies:
+                task = (policy, workload.key())
+                if task in seen or self.results.has(policy, workload):
+                    continue
+                seen.add(task)
+                pending.append(task)
+        if not pending:
+            return self.results
+        # Train models once in the parent before the pool starts: forked
+        # workers inherit the trained cache (and spawn ships it in the
+        # initializer pickle) instead of re-training per worker.  Only
+        # benchmarks with pending cells need models.
+        if self.builder is not None and hasattr(self.builder, "build"):
+            for benchmark in sorted({name for _, key in pending
+                                     for name in Workload.from_key(key)}):
+                self.builder.build(benchmark)
+        merged: Dict[Tuple[str, str], Tuple[List[float], int, float]] = {}
+        workers = min(self.config.jobs, len(pending))
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=_worker_init,
+                initargs=(self.backend, self.config, self.builder)) as pool:
+            for policy, key, ipcs, instructions, wall in pool.map(
+                    _worker_simulate, pending):
+                merged[(policy, key)] = (ipcs, instructions, wall)
+        # Record in the exact order the serial path would have, so the
+        # results (and their JSON) are bit-identical for any `jobs`.
+        for workload in workloads:
+            for policy in policies:
+                entry = merged.pop((policy, workload.key()), None)
+                if entry is None:
+                    continue
+                ipcs, instructions, wall = entry
+                self.timing.simulations += 1
+                self.timing.instructions += instructions
+                self.timing.wall_seconds += wall
+                self.results.record(policy, workload, ipcs)
+        return self.results
+
+    def reference_ipcs(self, benchmarks: Iterable[str],
+                       policy: str = "LRU") -> Dict[str, float]:
+        """Single-thread reference IPCs (memoised in the results)."""
+        for benchmark in benchmarks:
+            if benchmark not in self.results.reference:
+                started = time.perf_counter()
+                ipc = self._make_simulator(policy).reference_ipc(benchmark)
+                self.timing.simulations += 1
+                self.timing.instructions += self.config.trace_length
+                self.timing.wall_seconds += time.perf_counter() - started
+                self.results.record_reference(benchmark, ipc)
+        return dict(self.results.reference)
+
+    def __repr__(self) -> str:
+        return (f"Campaign({self.config.backend!r}, cores={self.cores}, "
+                f"length={self.trace_length}, jobs={self.config.jobs}, "
+                f"entries={len(self.results)})")

@@ -1,0 +1,190 @@
+"""The fluent entry point: one object from scale to verdict.
+
+:class:`Session` owns everything a study needs -- populations, shared
+model builders, simulation campaigns, the on-disk cache -- and exposes
+the paper's workflow as one call chain::
+
+    from repro.api import Session
+
+    study = Session(scale="small", seed=0).study(
+        "LRU", "DIP", metric="IPCT", cores=2, backend="badco")
+    print(study.inverse_cv, study.guideline())
+
+Campaigns are memoised per (backend, cores) and shared with everything
+else the session produces, so asking for a study, then the raw results,
+then a second metric never re-simulates.  ``jobs>1`` runs campaign
+grids on a process pool (bit-identical results, see
+:mod:`repro.api.engine`).
+
+The legacy :class:`repro.experiments.common.ExperimentContext` is now a
+thin wrapper over this class.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.backends import get_backend
+from repro.api.config import CampaignConfig
+from repro.api.engine import Campaign
+from repro.api.scales import (
+    Scale,
+    ScaleLike,
+    ScaleParameters,
+    coerce_scale,
+    default_cache_dir,
+    scale_parameters,
+)
+from repro.bench.spec import benchmark_names
+from repro.core.metrics import ThroughputMetric, metric_by_name
+from repro.core.population import WorkloadPopulation
+from repro.core.study import PolicyComparisonStudy
+from repro.core.workload import Workload
+from repro.mem.replacement import POLICY_NAMES, validate_policy_name
+from repro.sim.results import PopulationResults
+
+MetricLike = Union[str, ThroughputMetric]
+
+
+class Session:
+    """Owns populations, builders and campaigns for one configuration.
+
+    Args:
+        scale: experiment size (:class:`Scale` or its name).
+        seed: global seed (traces, populations, resampling).
+        jobs: worker processes for campaign grids (1 = serial).
+        backend: default simulator backend for studies and results.
+        cache_dir: on-disk campaign cache; defaults per
+            :func:`repro.api.scales.default_cache_dir`.
+        benchmarks: benchmark suite (default: the 22 SPEC stand-ins).
+    """
+
+    def __init__(self, scale: ScaleLike = Scale.MEDIUM, *, seed: int = 0,
+                 jobs: int = 1, backend: str = "badco",
+                 cache_dir: Optional[Path] = None,
+                 benchmarks: Optional[Sequence[str]] = None) -> None:
+        self.scale = coerce_scale(scale)
+        self.parameters: ScaleParameters = scale_parameters(self.scale)
+        self.seed = seed
+        self.jobs = jobs
+        self.backend = get_backend(backend).name
+        self.cache_dir = (cache_dir if cache_dir is not None
+                          else default_cache_dir())
+        self.benchmarks = list(benchmarks or benchmark_names())
+        self.policies = list(POLICY_NAMES)
+        self._populations: Dict[int, WorkloadPopulation] = {}
+        self._builders: Dict[Tuple[str, int], Any] = {}
+        self._campaigns: Dict[Tuple[str, int], Campaign] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks
+
+    def population(self, cores: int = 2) -> WorkloadPopulation:
+        """The (possibly capped) workload population for a core count."""
+        pop = self._populations.get(cores)
+        if pop is None:
+            cap = self.parameters.population_cap[cores]
+            pop = WorkloadPopulation(self.benchmarks, cores,
+                                     max_size=cap, seed=self.seed)
+            self._populations[cores] = pop
+        return pop
+
+    def detailed_sample(self, cores: int = 2) -> List[Workload]:
+        """The paper's "250 randomly selected workloads" (scaled).
+
+        Drawn uniformly from the population without replacement, with a
+        seed independent of the population's own.
+        """
+        population = self.population(cores)
+        count = min(self.parameters.detailed_sample, len(population))
+        rng = random.Random((self.seed << 8) ^ cores)
+        return sorted(rng.sample(list(population), count))
+
+    def builder(self, backend: Optional[str] = None) -> Any:
+        """The session's shared model builder for one backend.
+
+        One builder per (backend, trace length), so each benchmark's
+        model is trained at most once per session (``None`` for
+        backends that need no builder, e.g. ``detailed``).
+        """
+        name = get_backend(backend or self.backend).name
+        key = (name, self.parameters.trace_length)
+        if key not in self._builders:
+            self._builders[key] = get_backend(name).make_builder(
+                self.parameters.trace_length, self.seed)
+        return self._builders[key]
+
+    def config(self, backend: Optional[str] = None,
+               cores: int = 2) -> CampaignConfig:
+        """The campaign config this session uses for (backend, cores)."""
+        return CampaignConfig(
+            backend=get_backend(backend or self.backend).name, cores=cores,
+            trace_length=self.parameters.trace_length, seed=self.seed,
+            jobs=self.jobs, cache_dir=self.cache_dir)
+
+    def campaign(self, backend: Optional[str] = None,
+                 cores: int = 2) -> Campaign:
+        """The memoised campaign for (backend, cores)."""
+        config = self.config(backend, cores)
+        key = (config.backend, cores)
+        campaign = self._campaigns.get(key)
+        if campaign is None:
+            campaign = Campaign(config, builder=self.builder(config.backend))
+            self._campaigns[key] = campaign
+        return campaign
+
+    # ------------------------------------------------------------------
+    # Results and studies
+
+    def results(self, backend: Optional[str] = None, cores: int = 2,
+                policies: Optional[Sequence[str]] = None,
+                workloads: Optional[Sequence[Workload]] = None,
+                reference: bool = True) -> PopulationResults:
+        """IPCs for a workload grid, simulated as needed and cached.
+
+        Args:
+            backend: simulator backend (session default if None).
+            cores: number of cores K.
+            policies: LLC policies to cover (default: the paper's five).
+            workloads: explicit workload list (default: the whole
+                population for this core count).
+            reference: also measure single-thread reference IPCs (for
+                the WSU/HSU speedup metrics).
+        """
+        campaign = self.campaign(backend, cores)
+        campaign.run_grid(
+            workloads if workloads is not None else self.population(cores),
+            ([validate_policy_name(p) for p in policies]
+             if policies is not None else self.policies))
+        if reference:
+            campaign.reference_ipcs(self.benchmarks)
+        campaign.save()
+        return campaign.results
+
+    def study(self, baseline: str, candidate: str, *,
+              metric: MetricLike = "IPCT", cores: int = 2,
+              backend: Optional[str] = None) -> PolicyComparisonStudy:
+        """Does ``candidate`` outperform ``baseline``?  The whole loop.
+
+        Simulates the population under both policies on the chosen
+        backend (plus single-thread references), builds the d(w) table
+        and returns the :class:`~repro.core.study.PolicyComparisonStudy`
+        carrying cv, the analytical confidence model, empirical
+        confidence and the Section VII guideline.
+        """
+        metric_obj = (metric_by_name(metric) if isinstance(metric, str)
+                      else metric)
+        baseline = validate_policy_name(baseline)
+        candidate = validate_policy_name(candidate)
+        results = self.results(backend, cores,
+                               policies=[baseline, candidate])
+        return PolicyComparisonStudy(
+            self.population(cores), results.ipc_table(baseline),
+            results.ipc_table(candidate), metric_obj, results.reference)
+
+    def __repr__(self) -> str:
+        return (f"Session(scale={self.scale.value!r}, seed={self.seed}, "
+                f"backend={self.backend!r}, jobs={self.jobs}, "
+                f"campaigns={len(self._campaigns)})")

@@ -6,7 +6,9 @@ Commands:
 - ``population``   -- population sizes and (optionally) the workloads;
 - ``classify``     -- measure MPKI and regenerate Table IV;
 - ``study``        -- compare two policies end to end (cv, confidence,
-                      guideline) on an approximate-simulation population;
+                      guideline) on an approximate-simulation population,
+                      on any registered simulator backend (``--backend``)
+                      and optionally in parallel (``--jobs``);
 - ``plan``         -- apply the Section VII guideline to a cv value;
 - ``experiment``   -- run one of the paper's table/figure drivers.
 """
@@ -17,12 +19,13 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api.backends import UnknownBackendError, backend_names, get_backend
+from repro.api.session import Session
 from repro.bench.spec import SPEC_2006
 from repro.core.confidence import confidence_from_cv
 from repro.core.metrics import metric_by_name
 from repro.core.planner import recommend_method
 from repro.core.population import population_size
-from repro.core.study import PolicyComparisonStudy
 from repro.experiments.common import ExperimentContext, Scale
 
 _EXPERIMENTS = {
@@ -71,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--cores", type=int, default=2)
     study.add_argument("--metric", default="IPCT")
     study.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
+    study.add_argument("--backend", default="badco",
+                       help="simulator backend (see `repro.api.BACKENDS`; "
+                            f"built in: {', '.join(backend_names())})")
+    study.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the campaign (default 1)")
 
     plan = sub.add_parser("plan", help="Section VII guideline for a cv")
     plan.add_argument("cv", type=float)
@@ -79,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run a paper artefact")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for campaigns (default 1)")
     return parser
 
 
@@ -117,20 +127,21 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_study(args) -> int:
-    context = ExperimentContext(args.scale)
+    try:
+        backend = get_backend(args.backend).name
+    except UnknownBackendError as error:
+        print(error, file=sys.stderr)
+        return 2
+    session = Session(args.scale, jobs=args.jobs, backend=backend)
     metric = metric_by_name(args.metric)
-    results = context.badco_population_results(args.cores)
-    for policy in (args.baseline, args.candidate):
-        if policy not in results.policies:
-            print(f"unknown policy {policy!r}; have {results.policies}",
-                  file=sys.stderr)
-            return 2
-    study = PolicyComparisonStudy(
-        context.population(args.cores),
-        results.ipc_table(args.baseline),
-        results.ipc_table(args.candidate), metric, results.reference)
+    try:
+        study = session.study(args.baseline, args.candidate,
+                              metric=metric, cores=args.cores)
+    except ValueError as error:      # e.g. an unknown policy name
+        print(error, file=sys.stderr)
+        return 2
     print(f"{args.candidate} vs {args.baseline} "
-          f"({metric.name}, {args.cores} cores, "
+          f"({metric.name}, {args.cores} cores, {backend} backend, "
           f"{len(study.population)} workloads):")
     print(f"  1/cv = {study.inverse_cv:+.3f}")
     print(f"  {args.candidate} wins on the population: "
@@ -170,7 +181,8 @@ def _cmd_experiment(args) -> int:
         print(f"stratification extra fraction: "
               f"{result.stratification_extra_fraction:.2f}")
         return 0
-    result = module.run(args.scale)
+    context = ExperimentContext(args.scale, jobs=args.jobs)
+    result = module.run(args.scale, context=context)
     for row in result.rows():
         print(row)
     return 0

@@ -9,7 +9,7 @@ uses to turn measured MPKIs into class labels and class tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 from repro.bench.spec import MpkiClass
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling.base import SamplingMethod

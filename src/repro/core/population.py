@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.core.workload import Workload
 

@@ -9,7 +9,7 @@ extension.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 
 def largest_remainder_allocation(shares: Sequence[float], total: int) -> List[int]:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.core.population import WorkloadPopulation
 from repro.core.workload import Workload

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional
 
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling.allocation import largest_remainder_allocation
@@ -127,7 +127,6 @@ class WorkloadStratification(SamplingMethod):
         merged: List[List[Workload]] = []
         target = self._total / size
         current: List[Workload] = []
-        remaining_groups = size
         for stratum in self.strata:
             current = current + stratum
             if (len(current) >= target

@@ -10,7 +10,6 @@ simulation samples and approximate-simulation populations.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.confidence import confidence_from_cv, required_sample_size

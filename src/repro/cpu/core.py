@@ -31,7 +31,7 @@ bus contention are resolved consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.bench.trace import Trace, Uop, UopKind
 from repro.cpu.branch import BranchTargetBuffer, TageLitePredictor

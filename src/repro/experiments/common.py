@@ -1,85 +1,43 @@
 """Shared experiment infrastructure: scales, contexts, campaign reuse.
 
-The paper's populations (253 / 12650 / 10000 workloads at 100 M
-instructions each) are out of reach for a pure-Python reproduction run
-under CI, so every experiment accepts a :class:`Scale`:
+The size knobs (:class:`Scale`, :class:`ScaleParameters`,
+:func:`default_cache_dir`) now live in :mod:`repro.api.scales` and are
+re-exported here for compatibility; the heavy lifting -- populations,
+shared model builders, memoised campaigns, the on-disk cache
+(environment variable ``REPRO_CACHE_DIR``, default
+``~/.cache/repro-ispass2013``) -- lives in
+:class:`repro.api.session.Session`.
 
-- ``SMALL``: seconds; unit-test sized, statistically noisy.
-- ``MEDIUM``: minutes; the default for the benchmark harness --
-  population shapes and orderings are stable at this size.
-- ``FULL``: the paper's population sizes (hours of CPU).
-
-An :class:`ExperimentContext` owns the simulation campaigns so that the
-many figures sharing the same population (Figs. 3-7 all consume the
-4-core BADCO population) pay for it once per process, and once per
-machine when a cache directory is configured (environment variable
-``REPRO_CACHE_DIR``, default ``~/.cache/repro-ispass2013``).
+:class:`ExperimentContext` remains the experiment drivers' handle on
+all of that: it wraps one :class:`Session` so that the many figures
+sharing the same population (Figs. 3-7 all consume the 4-core
+approximate-simulation population) pay for it once per process, and
+once per machine when a cache directory is configured.
 """
 
 from __future__ import annotations
 
-import enum
-import os
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.bench.spec import benchmark_names
+from repro.api.scales import (
+    _PARAMETERS as _PARAMETERS,
+    Scale,
+    ScaleLike,
+    ScaleParameters,
+    default_cache_dir,
+    scale_parameters,
+)
+from repro.api.engine import Campaign
+from repro.api.session import Session
 from repro.core.population import WorkloadPopulation
 from repro.core.workload import Workload
-from repro.mem.replacement import POLICY_NAMES
-from repro.sim.badco.model import BadcoModelBuilder
 from repro.sim.results import PopulationResults
-from repro.sim.runner import SimulationCampaign
 
-
-class Scale(enum.Enum):
-    """Experiment size knob (see module docstring)."""
-
-    SMALL = "small"
-    MEDIUM = "medium"
-    FULL = "full"
-
-
-@dataclass(frozen=True)
-class ScaleParameters:
-    """Concrete sizes for one scale.
-
-    Attributes:
-        trace_length: uops per thread.
-        population_cap: max workloads in the approximate-simulation
-            population per core count (None = the paper's exact sizes).
-        detailed_sample: workloads simulated with the detailed
-            simulator (the paper uses 250).
-        draws: Monte-Carlo resamples per confidence estimate.
-    """
-
-    trace_length: int
-    population_cap: Dict[int, int]
-    detailed_sample: int
-    draws: int
-
-
-_PARAMETERS: Dict[Scale, ScaleParameters] = {
-    Scale.SMALL: ScaleParameters(
-        trace_length=6000,
-        population_cap={2: 60, 4: 80, 8: 60},
-        detailed_sample=8,
-        draws=200,
-    ),
-    Scale.MEDIUM: ScaleParameters(
-        trace_length=16000,
-        population_cap={2: 253, 4: 700, 8: 400},
-        detailed_sample=40,
-        draws=1000,
-    ),
-    Scale.FULL: ScaleParameters(
-        trace_length=20000,
-        population_cap={2: 253, 4: 12650, 8: 10000},
-        detailed_sample=250,
-        draws=10000,
-    ),
-}
+__all__ = [
+    "ExperimentContext", "POLICY_PAIRS", "Scale", "ScaleParameters",
+    "default_cache_dir", "scale_parameters",
+]
 
 #: The ten ordered policy pairs of the paper's Figs. 4-5 ("X>Y" bars).
 POLICY_PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -90,113 +48,116 @@ POLICY_PAIRS: Tuple[Tuple[str, str], ...] = (
 )
 
 
-def default_cache_dir() -> Optional[Path]:
-    """Campaign cache directory (``REPRO_CACHE_DIR``; empty disables)."""
-    value = os.environ.get("REPRO_CACHE_DIR")
-    if value == "":
-        return None
-    if value:
-        return Path(value)
-    return Path.home() / ".cache" / "repro-ispass2013"
-
-
 class ExperimentContext:
     """Owns populations and simulation campaigns for one scale.
+
+    A thin wrapper over :class:`repro.api.session.Session` keeping the
+    interface the experiment drivers grew up with.
 
     Args:
         scale: experiment size.
         seed: global seed (traces, populations, resampling).
         cache_dir: on-disk campaign cache; defaults per
-            :func:`default_cache_dir`.
+            :func:`repro.api.scales.default_cache_dir`.
         benchmarks: benchmark suite (default: the 22 SPEC stand-ins).
+        jobs: worker processes for campaign grids (1 = serial).
     """
 
-    def __init__(self, scale: Scale = Scale.MEDIUM, seed: int = 0,
+    def __init__(self, scale: ScaleLike = Scale.MEDIUM, seed: int = 0,
                  cache_dir: Optional[Path] = None,
-                 benchmarks: Optional[Sequence[str]] = None) -> None:
-        self.scale = scale
-        self.parameters = _PARAMETERS[scale]
-        self.seed = seed
-        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
-        self.benchmarks = list(benchmarks or benchmark_names())
-        self._populations: Dict[int, WorkloadPopulation] = {}
-        self._campaigns: Dict[Tuple[str, int], SimulationCampaign] = {}
-        self._builders: Dict[int, BadcoModelBuilder] = {}
-        self.policies = list(POLICY_NAMES)
+                 benchmarks: Optional[Sequence[str]] = None,
+                 jobs: int = 1) -> None:
+        self.session = Session(scale, seed=seed, jobs=jobs,
+                               cache_dir=cache_dir, benchmarks=benchmarks)
+
+    # -- session views -------------------------------------------------
+
+    @property
+    def scale(self) -> Scale:
+        return self.session.scale
+
+    @property
+    def parameters(self) -> ScaleParameters:
+        return self.session.parameters
+
+    @property
+    def seed(self) -> int:
+        return self.session.seed
+
+    @property
+    def jobs(self) -> int:
+        return self.session.jobs
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self.session.cache_dir
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return self.session.benchmarks
+
+    @property
+    def policies(self) -> List[str]:
+        return self.session.policies
 
     # ------------------------------------------------------------------
 
     def population(self, cores: int) -> WorkloadPopulation:
         """The (possibly capped) workload population for a core count."""
-        pop = self._populations.get(cores)
-        if pop is None:
-            cap = self.parameters.population_cap[cores]
-            pop = WorkloadPopulation(self.benchmarks, cores,
-                                     max_size=cap, seed=self.seed)
-            self._populations[cores] = pop
-        return pop
+        return self.session.population(cores)
 
     def detailed_sample(self, cores: int) -> List[Workload]:
-        """The paper's "250 randomly selected workloads" (scaled).
-
-        Drawn uniformly from the population without replacement, with a
-        seed independent of the population's own.
-        """
-        import random
-
-        population = self.population(cores)
-        count = min(self.parameters.detailed_sample, len(population))
-        rng = random.Random((self.seed << 8) ^ cores)
-        return sorted(rng.sample(list(population), count))
+        """The paper's "250 randomly selected workloads" (scaled)."""
+        return self.session.detailed_sample(cores)
 
     # ------------------------------------------------------------------
 
-    def builder(self) -> BadcoModelBuilder:
-        """The shared BADCO model builder (one per trace length)."""
-        key = self.parameters.trace_length
-        builder = self._builders.get(key)
-        if builder is None:
-            builder = BadcoModelBuilder(key, self.seed)
-            self._builders[key] = builder
-        return builder
+    def builder(self, backend: str = "badco"):
+        """The shared model builder (one per backend and trace length)."""
+        return self.session.builder(backend)
 
-    def campaign(self, simulator: str, cores: int) -> SimulationCampaign:
-        """The memoised campaign for (simulator, cores)."""
-        key = (simulator, cores)
-        campaign = self._campaigns.get(key)
-        if campaign is None:
-            campaign = SimulationCampaign(
-                simulator, cores,
-                trace_length=self.parameters.trace_length,
-                seed=self.seed, cache_dir=self.cache_dir,
-                builder=self.builder() if simulator == "badco" else None)
-            self._campaigns[key] = campaign
-        return campaign
+    def campaign(self, simulator: str, cores: int) -> Campaign:
+        """The memoised campaign for (simulator backend, cores)."""
+        return self.session.campaign(simulator, cores)
 
     # ------------------------------------------------------------------
     # Bulk products used by several figures
 
+    def population_results(self, cores: int,
+                           backend: str = "badco") -> PopulationResults:
+        """Approximate-simulation IPCs for the whole population.
+
+        Covers all five paper policies plus the single-thread reference
+        IPCs, persisting to the cache directory.
+        """
+        return self.session.results(backend, cores)
+
+    def sample_results(self, cores: int,
+                       backend: str = "detailed") -> PopulationResults:
+        """IPCs for the detailed sample under all policies."""
+        return self.session.results(backend, cores,
+                                    workloads=self.detailed_sample(cores))
+
+    def results_for(self, cores: int, workloads: Sequence[Workload],
+                    backend: str = "badco") -> PopulationResults:
+        """IPCs for an explicit workload list (all policies)."""
+        return self.session.results(backend, cores, workloads=workloads)
+
+    # -- pre-registry spellings, kept for compatibility ----------------
+
     def badco_population_results(self, cores: int) -> PopulationResults:
         """BADCO IPCs for the whole population under all five policies."""
-        campaign = self.campaign("badco", cores)
-        campaign.run_grid(self.population(cores), self.policies)
-        campaign.reference_ipcs(self.benchmarks)
-        campaign.save()
-        return campaign.results
+        return self.population_results(cores, "badco")
 
     def detailed_sample_results(self, cores: int) -> PopulationResults:
         """Detailed IPCs for the detailed sample under all policies."""
-        campaign = self.campaign("detailed", cores)
-        campaign.run_grid(self.detailed_sample(cores), self.policies)
-        campaign.reference_ipcs(self.benchmarks)
-        campaign.save()
-        return campaign.results
+        return self.sample_results(cores, "detailed")
 
     def badco_results_for(self, cores: int,
                           workloads: Sequence[Workload]) -> PopulationResults:
         """BADCO IPCs for an explicit workload list (all policies)."""
-        campaign = self.campaign("badco", cores)
-        campaign.run_grid(workloads, self.policies)
-        campaign.reference_ipcs(self.benchmarks)
-        campaign.save()
-        return campaign.results
+        return self.results_for(cores, workloads, "badco")
+
+    def __repr__(self) -> str:
+        return (f"ExperimentContext(scale={self.scale.value!r}, "
+                f"seed={self.seed}, jobs={self.jobs})")

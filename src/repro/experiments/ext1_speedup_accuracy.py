@@ -61,9 +61,10 @@ def run(scale: Scale = Scale.MEDIUM,
         pair: Tuple[str, str] = ("LRU", "DIP"),
         metric: ThroughputMetric = IPCT,
         epsilon: float = 0.01,
-        sample_sizes: Sequence[int] = DEFAULT_SIZES) -> Ext1Result:
+        sample_sizes: Sequence[int] = DEFAULT_SIZES,
+        backend: str = "badco") -> Ext1Result:
     context = context or ExperimentContext(scale)
-    results = context.badco_population_results(cores)
+    results = context.population_results(cores, backend)
     population = context.population(cores)
     x, y = pair
     evaluator = SpeedupAccuracyEvaluator(

@@ -108,7 +108,7 @@ def run(scale: Scale = Scale.MEDIUM,
 
     # --- 2. robustness: strata from the interval simulator's d(w),
     #        judged against the BADCO population's d(w).
-    results = context.badco_population_results(cores)
+    results = context.population_results(cores, "badco")
     population = context.population(cores)
     variable = DeltaVariable(IPCT, results.reference)
     delta_truth = variable.table(list(population), results.ipc_table(x),

@@ -9,7 +9,7 @@ reproduce both statistics on the detailed sample.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import ExperimentContext, Scale
@@ -60,13 +60,14 @@ def _speedup_errors(detailed, badco, baseline: str, workloads) -> List[float]:
 
 def run(scale: Scale = Scale.MEDIUM,
         context: Optional[ExperimentContext] = None,
-        core_counts: Tuple[int, ...] = (2, 4, 8)) -> Fig2Result:
+        core_counts: Tuple[int, ...] = (2, 4, 8),
+        approx_backend: str = "badco") -> Fig2Result:
     context = context or ExperimentContext(scale)
     per_cores: Dict[int, Fig2CoreResult] = {}
     for cores in core_counts:
         sample = context.detailed_sample(cores)
-        detailed = context.detailed_sample_results(cores)
-        badco = context.badco_results_for(cores, sample)
+        detailed = context.sample_results(cores)
+        badco = context.results_for(cores, sample, approx_backend)
         points: List[Tuple[float, float]] = []
         errors: List[float] = []
         under = 0

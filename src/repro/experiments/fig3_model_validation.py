@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.confidence import confidence_from_cv
 from repro.core.delta import DeltaVariable, delta_statistics
 from repro.core.estimator import ConfidenceEstimator
-from repro.core.metrics import ThroughputMetric, WSU, metric_by_name
+from repro.core.metrics import ThroughputMetric, WSU
 from repro.core.sampling import SimpleRandomSampling
 from repro.experiments.common import ExperimentContext, Scale
 
@@ -54,12 +54,13 @@ def run(scale: Scale = Scale.MEDIUM,
         pair: Tuple[str, str] = ("DIP", "DRRIP"),
         metric: ThroughputMetric = WSU,
         core_counts: Sequence[int] = (2, 4, 8),
-        sample_sizes: Sequence[int] = DEFAULT_SIZES) -> Fig3Result:
+        sample_sizes: Sequence[int] = DEFAULT_SIZES,
+        backend: str = "badco") -> Fig3Result:
     context = context or ExperimentContext(scale)
     x, y = pair
     series: Dict[int, Fig3Series] = {}
     for cores in core_counts:
-        results = context.badco_population_results(cores)
+        results = context.population_results(cores, backend)
         population = context.population(cores)
         variable = DeltaVariable(metric, results.reference)
         delta = variable.table(list(population), results.ipc_table(x),

@@ -65,18 +65,20 @@ def run(scale: Scale = Scale.MEDIUM,
         context: Optional[ExperimentContext] = None,
         cores: int = 4,
         pairs: Sequence[Tuple[str, str]] = POLICY_PAIRS,
-        sources: Sequence[str] = SOURCES) -> Fig4Result:
+        sources: Sequence[str] = SOURCES,
+        approx_backend: str = "badco") -> Fig4Result:
     context = context or ExperimentContext(scale)
     sample = context.detailed_sample(cores)
     bars: Dict[Tuple[str, str], Dict[str, Dict[str, float]]] = {}
     tables: Dict[str, Tuple[PopulationResults, Sequence[Workload]]] = {}
     if "detailed-sample" in sources:
-        tables["detailed-sample"] = (context.detailed_sample_results(cores), sample)
+        tables["detailed-sample"] = (context.sample_results(cores), sample)
     if "badco-sample" in sources:
-        tables["badco-sample"] = (context.badco_results_for(cores, sample), sample)
+        tables["badco-sample"] = (
+            context.results_for(cores, sample, approx_backend), sample)
     if "badco-population" in sources:
         tables["badco-population"] = (
-            context.badco_population_results(cores),
+            context.population_results(cores, approx_backend),
             list(context.population(cores)))
     for pair in pairs:
         x, y = pair

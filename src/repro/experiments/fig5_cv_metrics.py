@@ -56,9 +56,10 @@ class Fig5Result:
 def run(scale: Scale = Scale.MEDIUM,
         context: Optional[ExperimentContext] = None,
         cores: int = 4,
-        pairs: Sequence[Tuple[str, str]] = POLICY_PAIRS) -> Fig5Result:
+        pairs: Sequence[Tuple[str, str]] = POLICY_PAIRS,
+        backend: str = "badco") -> Fig5Result:
     context = context or ExperimentContext(scale)
-    results = context.badco_population_results(cores)
+    results = context.population_results(cores, backend)
     workloads = list(context.population(cores))
     bars: Dict[Tuple[str, str], Dict[str, float]] = {}
     for pair in pairs:

@@ -65,9 +65,10 @@ def run(scale: Scale = Scale.MEDIUM,
         cores: int = 4,
         metric: ThroughputMetric = IPCT,
         pairs: Sequence[Tuple[str, str]] = FIG6_PAIRS,
-        sample_sizes: Sequence[int] = DEFAULT_SIZES) -> Fig6Result:
+        sample_sizes: Sequence[int] = DEFAULT_SIZES,
+        backend: str = "badco") -> Fig6Result:
     context = context or ExperimentContext(scale)
-    results = context.badco_population_results(cores)
+    results = context.population_results(cores, backend)
     population = context.population(cores)
     classes = class_labels(run_table4(scale, context).mpki)
     curves: Dict[Tuple[str, str], Dict[str, List[float]]] = {}

@@ -25,7 +25,6 @@ from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import IPCT, ThroughputMetric
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling import (
-    BalancedRandomSampling,
     BenchmarkStratification,
     SimpleRandomSampling,
     WorkloadStratification,
@@ -61,7 +60,8 @@ def run(scale: Scale = Scale.MEDIUM,
         pair: Tuple[str, str] = ("LRU", "DIP"),
         metric: ThroughputMetric = IPCT,
         core_counts: Sequence[int] = (2, 4),
-        sample_sizes: Sequence[int] = DEFAULT_SIZES) -> Fig7Result:
+        sample_sizes: Sequence[int] = DEFAULT_SIZES,
+        approx_backend: str = "badco") -> Fig7Result:
     context = context or ExperimentContext(scale)
     x, y = pair
     classes = class_labels(run_table4(scale, context).mpki)
@@ -70,8 +70,8 @@ def run(scale: Scale = Scale.MEDIUM,
         # The sampling frame is the detailed-simulated workload set (the
         # paper's 253 / 250 workloads): detailed IPCs exist for all of it.
         sample_workloads = context.detailed_sample(cores)
-        detailed = context.detailed_sample_results(cores)
-        badco = context.badco_results_for(cores, sample_workloads)
+        detailed = context.sample_results(cores)
+        badco = context.results_for(cores, sample_workloads, approx_backend)
         frame = WorkloadPopulation(context.benchmarks, cores,
                                    max_size=1, seed=context.seed)
         # Replace the frame's contents with the detailed-simulated set.

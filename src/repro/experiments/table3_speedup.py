@@ -11,15 +11,13 @@ BADCO >> detailed with the ratio growing with the problem size.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.backends import get_backend
 from repro.core.population import sample_workload
 from repro.core.workload import Workload
 from repro.experiments.common import ExperimentContext, Scale
-from repro.sim.badco.multicore import BadcoSimulator
-from repro.sim.detailed import DetailedSimulator
 
 
 @dataclass
@@ -52,14 +50,18 @@ class Table3Result:
 def run(scale: Scale = Scale.MEDIUM,
         context: Optional[ExperimentContext] = None,
         core_counts: Tuple[int, ...] = (1, 2, 4, 8),
-        workloads_per_point: int = 3) -> Table3Result:
+        workloads_per_point: int = 3,
+        approx_backend: str = "badco") -> Table3Result:
     context = context or ExperimentContext(scale)
     length = context.parameters.trace_length
-    builder = context.builder()
+    detailed_backend = get_backend("detailed")
+    approx = get_backend(approx_backend)
+    builder = context.builder(approx_backend)
     # Train all models up front so building is not charged to sim speed
     # (the paper charges it separately, in Section VII-A).
-    for benchmark in context.benchmarks:
-        builder.build(benchmark)
+    if builder is not None:
+        for benchmark in context.benchmarks:
+            builder.build(benchmark)
     rng = random.Random(context.seed + 3)
     rows: Dict[int, Table3Row] = {}
     for cores in core_counts:
@@ -69,13 +71,13 @@ def run(scale: Scale = Scale.MEDIUM,
         det_instr = det_wall = 0.0
         bad_instr = bad_wall = 0.0
         for workload in picks:
-            det = DetailedSimulator(cores=cores, policy="LRU",
-                                    trace_length=length, seed=context.seed)
+            det = detailed_backend.make_simulator(
+                cores, "LRU", length, seed=context.seed)
             run_d = det.run(workload)
             det_instr += run_d.instructions
             det_wall += run_d.wall_seconds
-            bad = BadcoSimulator(cores=cores, policy="LRU", builder=builder,
-                                 trace_length=length, seed=context.seed)
+            bad = approx.make_simulator(
+                cores, "LRU", length, seed=context.seed, builder=builder)
             run_b = bad.run(workload)
             bad_instr += run_b.instructions
             bad_wall += run_b.wall_seconds

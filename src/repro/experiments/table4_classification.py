@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.bench.generator import cached_trace
-from repro.bench.spec import MpkiClass, TABLE_IV, benchmark_by_name
-from repro.core.classification import classification_table, classify_benchmarks
+from repro.bench.spec import MpkiClass, TABLE_IV
+from repro.core.classification import classify_benchmarks
 from repro.cpu.core import DetailedCore
 from repro.cpu.resources import default_core_config
 from repro.experiments.common import ExperimentContext, Scale

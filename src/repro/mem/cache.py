@@ -10,7 +10,7 @@ global event queue -- the property the simulators rely on for speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.mem.replacement.base import ReplacementPolicy

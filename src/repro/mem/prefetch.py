@@ -10,7 +10,7 @@ prefetcher issues ``cache.prefetch`` calls for predicted lines.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.mem.cache import Cache
 

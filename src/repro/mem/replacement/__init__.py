@@ -52,13 +52,18 @@ def make_policy(name: str, num_sets: int, ways: int,
     Raises:
         ValueError: for an unknown policy name.
     """
-    try:
-        cls = _REGISTRY[name.upper()]
-    except KeyError:
+    cls = _REGISTRY[validate_policy_name(name)]
+    return cls(num_sets, ways, seed=seed)
+
+
+def validate_policy_name(name: str) -> str:
+    """Canonical (upper-case) form of a policy name, or ValueError."""
+    canonical = name.upper()
+    if canonical not in _REGISTRY:
         raise ValueError(
             f"unknown replacement policy {name!r}; "
-            f"known: {', '.join(sorted(_REGISTRY))}") from None
-    return cls(num_sets, ways, seed=seed)
+            f"known: {', '.join(sorted(_REGISTRY))}")
+    return canonical
 
 
 __all__ = [
@@ -78,4 +83,5 @@ __all__ = [
     "ShipPolicy",
     "POLICY_NAMES",
     "make_policy",
+    "validate_policy_name",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 
 
 class ReplacementPolicy:
@@ -29,7 +30,11 @@ class ReplacementPolicy:
             raise ValueError("num_sets and ways must be positive")
         self.num_sets = num_sets
         self.ways = ways
-        self.rng = random.Random((seed << 8) ^ hash(type(self).__name__))
+        # crc32, not hash(): str hashes are salted per process
+        # (PYTHONHASHSEED), which would make campaigns -- and their
+        # on-disk caches -- irreproducible across runs.
+        name_hash = zlib.crc32(type(self).__name__.encode("ascii"))
+        self.rng = random.Random((seed << 8) ^ name_hash)
 
     def victim(self, set_index: int) -> int:
         """Way to evict from a full set."""

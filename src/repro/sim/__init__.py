@@ -1,25 +1,30 @@
 """Simulators and campaign infrastructure.
 
-Two simulator families, mirroring the paper's Zesto / BADCO pair:
+Three simulator families behind one interface (``run(workload)`` /
+``reference_ipc(benchmark)``), mirroring and extending the paper's
+Zesto / BADCO pair:
 
 - :class:`~repro.sim.detailed.DetailedSimulator` -- the slow ground
   truth: out-of-order cores (``repro.cpu``) sharing an uncore;
 - :class:`~repro.sim.badco.BadcoSimulator` -- the fast approximate
   simulator: per-benchmark behavioural node models built from two
-  detailed training runs, replayed against the real uncore.
+  detailed training runs, replayed against the real uncore;
+- :class:`~repro.sim.interval.IntervalSimulator` -- the cruder
+  one-training-run interval model.
 
-:class:`~repro.sim.runner.SimulationCampaign` runs (workload x policy)
-grids on either simulator with on-disk memoisation and wall-clock /
-MIPS accounting (Table III), producing
-:class:`~repro.sim.results.PopulationResults` consumed by the
-statistics layer in ``repro.core``.
+Campaigns -- (workload x policy) grids with on-disk memoisation,
+process-pool parallelism and wall-clock / MIPS accounting (Table III)
+-- live in :mod:`repro.api.engine`; each family is exposed there as a
+named backend in the :data:`repro.api.BACKENDS` registry.  The old
+:class:`~repro.sim.runner.SimulationCampaign` name still works as a
+deprecation shim (imported lazily here to keep ``repro.sim`` free of a
+circular import with ``repro.api``).
 """
 
 from repro.sim.detailed import DetailedSimulator, WorkloadRun
 from repro.sim.badco import BadcoModel, BadcoModelBuilder, BadcoSimulator
 from repro.sim.interval import IntervalProfileBuilder, IntervalSimulator
 from repro.sim.results import PopulationResults
-from repro.sim.runner import CampaignTiming, SimulationCampaign
 
 __all__ = [
     "DetailedSimulator",
@@ -33,3 +38,20 @@ __all__ = [
     "SimulationCampaign",
     "CampaignTiming",
 ]
+
+#: Names served lazily from repro.sim.runner (PEP 562): the campaign
+#: shim imports repro.api, which imports this package's simulators, so
+#: an eager import here would be circular.
+_LAZY = {"SimulationCampaign", "CampaignTiming"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.sim import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LAZY)

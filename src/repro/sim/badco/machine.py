@@ -15,7 +15,7 @@ interleave either kind of core.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable
 
 from repro.sim.badco.model import BadcoModel, TRAIN_HIT_LATENCY
 

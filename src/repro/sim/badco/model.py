@@ -23,8 +23,7 @@ The construction follows the paper's recipe:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.bench.generator import DEFAULT_TRACE_LENGTH, cached_trace

@@ -21,7 +21,6 @@ from typing import List, Optional
 
 from repro.bench.generator import DEFAULT_TRACE_LENGTH
 from repro.core.workload import Workload
-from repro.cpu.resources import CoreConfig
 from repro.mem.uncore import Uncore, UncoreConfig, uncore_config_for_cores
 from repro.sim.badco.machine import BadcoMachine
 from repro.sim.badco.model import BadcoModelBuilder

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.bench.generator import DEFAULT_TRACE_LENGTH, cached_trace
 from repro.core.workload import Workload

@@ -1,145 +1,57 @@
-"""Simulation campaigns: (workload x policy) grids with accounting.
+"""Deprecated campaign entry point (use :mod:`repro.api` instead).
 
-A campaign runs one simulator family over a set of workloads and
-policies, memoising per-(policy, workload) results in memory and
-optionally on disk, and accumulating the wall-clock / MIPS accounting
-behind the paper's Table III and the Section VII-A overhead example.
+:class:`SimulationCampaign` predates the pluggable backend registry:
+it hardcoded the two simulator names and took its parameters as
+positional arguments.  The real engine now lives in
+:class:`repro.api.engine.Campaign`, driven by a frozen
+:class:`repro.api.config.CampaignConfig` and the
+:data:`repro.api.BACKENDS` registry; this module keeps the old name
+working as a thin shim.  On-disk caches written by either spelling are
+interchangeable (both use :attr:`CampaignConfig.cache_key`).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Optional
 
-from repro.bench.generator import DEFAULT_TRACE_LENGTH
-from repro.core.workload import Workload
-from repro.sim.badco.model import BadcoModelBuilder
-from repro.sim.badco.multicore import BadcoSimulator
-from repro.sim.detailed import DetailedSimulator
-from repro.sim.results import PopulationResults
+from repro.api.config import CampaignConfig
+from repro.api.engine import Campaign, CampaignTiming
+
+__all__ = ["Campaign", "CampaignTiming", "SimulationCampaign"]
 
 
-@dataclass
-class CampaignTiming:
-    """Wall-clock accounting of a campaign (basis of Table III)."""
-
-    simulations: int = 0
-    instructions: int = 0
-    wall_seconds: float = 0.0
-
-    @property
-    def mips(self) -> float:
-        """Simulation speed in million instructions per second."""
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.instructions / 1e6 / self.wall_seconds
-
-
-class SimulationCampaign:
-    """Runs workloads under several policies on one simulator family.
+class SimulationCampaign(Campaign):
+    """Deprecated alias for :class:`repro.api.engine.Campaign`.
 
     Args:
-        simulator: "detailed" or "badco".
-        cores: number of cores K.
-        trace_length: uops per thread.
-        seed: campaign seed (traces, policies, page layout).
-        warmup_fraction: per-thread unmeasured fraction.
-        cache_dir: if given, results persist as JSON under this
-            directory and later campaigns with the same signature load
-            instead of simulating.
-        builder: shared BADCO model builder ("badco" only); defaults to
-            a fresh one, trained lazily.
+        simulator: backend name ("detailed", "badco", "interval", or
+            anything registered in ``repro.api.BACKENDS``).
+        cores / trace_length / seed / warmup_fraction / cache_dir:
+            as in :class:`repro.api.config.CampaignConfig`.
+        builder: shared model builder; defaults to a fresh one from the
+            backend, trained lazily.
     """
 
     def __init__(self, simulator: str, cores: int,
-                 trace_length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
+                 trace_length: Optional[int] = None, seed: int = 0,
                  warmup_fraction: float = 0.25,
                  cache_dir: Optional[Path] = None,
-                 builder: Optional[BadcoModelBuilder] = None) -> None:
-        if simulator not in ("detailed", "badco"):
-            raise ValueError(f"unknown simulator {simulator!r}")
-        self.simulator = simulator
-        self.cores = cores
-        self.trace_length = trace_length
-        self.seed = seed
-        self.warmup_fraction = warmup_fraction
-        self.cache_dir = Path(cache_dir) if cache_dir else None
-        if simulator == "badco":
-            self.builder = builder or BadcoModelBuilder(trace_length, seed)
-        else:
-            self.builder = builder
-        self.timing = CampaignTiming()
-        self.results = PopulationResults(cores, simulator)
-        self._loaded_from_cache = False
-        if self.cache_dir is not None:
-            self._try_load()
+                 builder: Optional[Any] = None) -> None:
+        warnings.warn(
+            "SimulationCampaign is deprecated; use repro.api.Campaign "
+            "with a CampaignConfig (or the repro.api.Session facade)",
+            DeprecationWarning, stacklevel=2)
+        fields = {"backend": simulator, "cores": cores, "seed": seed,
+                  "warmup_fraction": warmup_fraction, "cache_dir": cache_dir}
+        if trace_length is not None:
+            fields["trace_length"] = trace_length
+        super().__init__(CampaignConfig(**fields), builder=builder)
 
-    # ------------------------------------------------------------------
-    # Cache plumbing
-
-    def _cache_path(self) -> Path:
-        name = (f"{self.simulator}-k{self.cores}-l{self.trace_length}"
-                f"-s{self.seed}-w{int(self.warmup_fraction * 100)}.json")
-        return self.cache_dir / name
-
-    def _try_load(self) -> None:
-        path = self._cache_path()
-        if path.exists():
-            self.results = PopulationResults.load(path)
-            self._loaded_from_cache = True
-
-    def save(self) -> None:
-        """Persist results (no-op without a cache directory)."""
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            self.results.save(self._cache_path())
-
-    # ------------------------------------------------------------------
-    # Simulation
-
-    def _make_simulator(self, policy: str):
-        if self.simulator == "detailed":
-            return DetailedSimulator(
-                cores=self.cores, policy=policy,
-                trace_length=self.trace_length,
-                warmup_fraction=self.warmup_fraction, seed=self.seed)
-        return BadcoSimulator(
-            cores=self.cores, policy=policy, builder=self.builder,
-            trace_length=self.trace_length,
-            warmup_fraction=self.warmup_fraction, seed=self.seed)
-
-    def run_workload(self, workload: Workload, policy: str) -> List[float]:
-        """Per-core IPCs of one (workload, policy), memoised."""
-        if not self.results.has(policy, workload):
-            run = self._make_simulator(policy).run(workload)
-            self.timing.simulations += 1
-            self.timing.instructions += run.instructions
-            self.timing.wall_seconds += run.wall_seconds
-            self.results.record(policy, workload, run.ipcs)
-        return self.results.ipcs(policy, workload)
-
-    def run_grid(self, workloads: Iterable[Workload],
-                 policies: Sequence[str]) -> PopulationResults:
-        """Simulate every (workload, policy) pair; returns the results."""
-        for workload in workloads:
-            for policy in policies:
-                self.run_workload(workload, policy)
-        return self.results
-
-    def reference_ipcs(self, benchmarks: Iterable[str],
-                       policy: str = "LRU") -> Dict[str, float]:
-        """Single-thread reference IPCs (memoised in the results)."""
-        for benchmark in benchmarks:
-            if benchmark not in self.results.reference:
-                started = time.perf_counter()
-                ipc = self._make_simulator(policy).reference_ipc(benchmark)
-                self.timing.simulations += 1
-                self.timing.instructions += self.trace_length
-                self.timing.wall_seconds += time.perf_counter() - started
-                self.results.record_reference(benchmark, ipc)
-        return dict(self.results.reference)
+    @property
+    def simulator(self) -> str:
+        return self.config.backend
 
     def __repr__(self) -> str:
         return (f"SimulationCampaign({self.simulator!r}, cores={self.cores}, "

@@ -1,0 +1,305 @@
+"""The public API: backend registry, campaign configs, Session, jobs."""
+
+import pytest
+
+from repro.api import (
+    BACKENDS,
+    Campaign,
+    CampaignConfig,
+    Scale,
+    Session,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.core.workload import Workload
+from repro.experiments.common import ExperimentContext
+from repro.sim.badco.multicore import BadcoSimulator
+from repro.sim.detailed import DetailedSimulator
+from repro.sim.interval.multicore import IntervalSimulator
+
+from tests.conftest import TEST_TRACE_LENGTH
+
+#: Benchmarks for API tests: 4 names -> C(5, 2) = 10 two-core workloads.
+API_BENCHMARKS = ["povray", "hmmer", "gcc", "mcf"]
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+
+
+def test_builtin_backends_registered():
+    assert backend_names() == ("badco", "detailed", "interval")
+    assert get_backend("detailed").name == "detailed"
+    assert get_backend("badco").name == "badco"
+    assert get_backend("interval").name == "interval"
+
+
+def test_backends_construct_their_simulator_family():
+    classes = {"detailed": DetailedSimulator, "badco": BadcoSimulator,
+               "interval": IntervalSimulator}
+    for name, cls in classes.items():
+        simulator = get_backend(name).make_simulator(
+            2, "LRU", TEST_TRACE_LENGTH, 0.25, 0)
+        assert isinstance(simulator, cls)
+        assert simulator.cores == 2
+        assert simulator.policy == "LRU"
+        assert simulator.trace_length == TEST_TRACE_LENGTH
+
+
+def test_unknown_backend_lists_known_names():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        get_backend("zesto")
+    message = str(excinfo.value)
+    for name in backend_names():
+        assert name in message
+
+
+def test_register_backend_roundtrip():
+    class FakeBackend:
+        name = "fake"
+
+        def make_builder(self, trace_length, seed):
+            return None
+
+        def make_simulator(self, cores, policy, trace_length,
+                           warmup_fraction, seed, builder=None):
+            raise NotImplementedError
+
+    backend = FakeBackend()
+    try:
+        assert register_backend(backend) is backend
+        assert get_backend("fake") is backend
+        assert "fake" in backend_names()
+        with pytest.raises(ValueError):
+            register_backend(FakeBackend())        # duplicate name
+        replacement = FakeBackend()
+        register_backend(replacement, replace=True)
+        assert get_backend("fake") is replacement
+    finally:
+        BACKENDS.pop("fake", None)
+    with pytest.raises(UnknownBackendError):
+        get_backend("fake")
+
+
+def test_register_backend_requires_name():
+    class Nameless:
+        name = ""
+
+    with pytest.raises(ValueError):
+        register_backend(Nameless())
+
+
+# ----------------------------------------------------------------------
+# CampaignConfig
+
+
+def test_cache_key_is_stable_and_excludes_execution_knobs(tmp_path):
+    config = CampaignConfig(backend="badco", cores=2, trace_length=6000,
+                            seed=0, warmup_fraction=0.25)
+    assert config.cache_key == "badco-k2-l6000-s0-w25-v2"
+    # jobs and cache_dir are execution knobs, not result identity.
+    assert config.replace(jobs=8).cache_key == config.cache_key
+    assert config.replace(cache_dir=tmp_path).cache_key == config.cache_key
+    # Simulation fields all land in the key.
+    assert config.replace(backend="interval").cache_key != config.cache_key
+    assert config.replace(cores=4).cache_key != config.cache_key
+    assert config.replace(trace_length=3000).cache_key != config.cache_key
+    assert config.replace(seed=1).cache_key != config.cache_key
+    assert config.replace(warmup_fraction=0.5).cache_key != config.cache_key
+
+
+def test_config_cache_path_is_versioned(tmp_path):
+    config = CampaignConfig(backend="detailed", cores=4, trace_length=3000,
+                            seed=7, warmup_fraction=0.25, cache_dir=tmp_path)
+    assert config.cache_path == tmp_path / "detailed-k4-l3000-s7-w25-v2.json"
+    assert CampaignConfig(backend="detailed", cores=4).cache_path is None
+
+
+def test_config_is_frozen_and_hashable():
+    config = CampaignConfig()
+    with pytest.raises(AttributeError):
+        config.cores = 4
+    assert config == CampaignConfig()
+    assert hash(config) == hash(CampaignConfig())
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(cores=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(jobs=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(warmup_fraction=1.0)
+    with pytest.raises(ValueError):
+        CampaignConfig(trace_length=0)
+
+
+def test_campaign_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        Campaign(CampaignConfig(backend="zesto"))
+
+
+# ----------------------------------------------------------------------
+# Session facade
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    return Session(Scale.SMALL, seed=0, cache_dir=None,
+                   benchmarks=API_BENCHMARKS)
+
+
+def test_session_accepts_scale_names():
+    assert Session("small", cache_dir=None).scale is Scale.SMALL
+    with pytest.raises(ValueError):
+        Session("enormous", cache_dir=None)
+
+
+def test_session_memoises_building_blocks(small_session):
+    assert small_session.population(2) is small_session.population(2)
+    assert small_session.campaign("badco", 2) is \
+        small_session.campaign("badco", 2)
+    assert small_session.builder("badco") is small_session.builder("badco")
+    assert small_session.builder("detailed") is None
+
+
+def test_session_study_matches_hand_wired_path():
+    """The facade and the legacy incantation agree exactly."""
+    from repro.core.metrics import IPCT
+    from repro.core.study import PolicyComparisonStudy
+
+    session = Session(Scale.SMALL, seed=0, cache_dir=None,
+                      benchmarks=API_BENCHMARKS)
+    study = session.study("LRU", "DIP", metric="IPCT", cores=2,
+                          backend="badco")
+
+    context = ExperimentContext(Scale.SMALL, seed=0, cache_dir=None,
+                                benchmarks=API_BENCHMARKS)
+    results = context.badco_population_results(2)
+    hand_wired = PolicyComparisonStudy(
+        context.population(2), results.ipc_table("LRU"),
+        results.ipc_table("DIP"), IPCT, results.reference)
+
+    assert study.inverse_cv == hand_wired.inverse_cv
+    assert study.statistics.mean == hand_wired.statistics.mean
+    assert study.delta == hand_wired.delta
+
+
+def test_session_study_rejects_unknown_policy(small_session):
+    with pytest.raises(ValueError):
+        small_session.study("LRU", "BOGUS", cores=2)
+
+
+def test_session_results_reuses_campaign(small_session):
+    first = small_session.results("badco", 2, policies=["LRU"])
+    simulations = small_session.campaign("badco", 2).timing.simulations
+    second = small_session.results("badco", 2, policies=["LRU"])
+    assert first is second
+    assert small_session.campaign("badco", 2).timing.simulations == \
+        simulations
+
+
+def test_experiment_context_wraps_session():
+    context = ExperimentContext(Scale.SMALL, seed=0, cache_dir=None,
+                                benchmarks=API_BENCHMARKS, jobs=3)
+    assert context.session.jobs == 3
+    assert context.campaign("badco", 2) is context.session.campaign(
+        "badco", 2)
+    assert context.population(2) is context.session.population(2)
+
+
+# ----------------------------------------------------------------------
+# Parallel campaigns
+
+
+def test_parallel_grid_is_bit_identical_to_serial():
+    """jobs=4 must reproduce jobs=1 exactly, at Scale.SMALL sizes."""
+    serial = Session(Scale.SMALL, seed=0, jobs=1, cache_dir=None,
+                     benchmarks=API_BENCHMARKS)
+    parallel = Session(Scale.SMALL, seed=0, jobs=4, cache_dir=None,
+                       benchmarks=API_BENCHMARKS)
+    policies = ["LRU", "DIP"]
+    results_serial = serial.results("badco", 2, policies=policies)
+    results_parallel = parallel.results("badco", 2, policies=policies)
+    population = serial.population(2)
+    for workload in population:
+        for policy in policies:
+            assert results_serial.ipcs(policy, workload) == \
+                results_parallel.ipcs(policy, workload)
+    # Bit-identical all the way down to the serialised form.
+    assert results_serial.to_json() == results_parallel.to_json()
+
+
+def test_parallel_grid_memoises_like_serial():
+    config = CampaignConfig(backend="badco", cores=2,
+                            trace_length=TEST_TRACE_LENGTH, jobs=2)
+    campaign = Campaign(config)
+    workloads = [Workload(["povray", "hmmer"]), Workload(["povray", "gcc"])]
+    campaign.run_grid(workloads, ["LRU"])
+    simulations = campaign.timing.simulations
+    assert simulations == 2
+    campaign.run_grid(workloads, ["LRU"])     # fully memoised: no new work
+    assert campaign.timing.simulations == simulations
+
+
+def test_parallel_interval_backend():
+    config = CampaignConfig(backend="interval", cores=2,
+                            trace_length=TEST_TRACE_LENGTH, jobs=2)
+    results = Campaign(config).run_grid(
+        [Workload(["povray", "hmmer"])], ["LRU", "FIFO"])
+    assert len(results) == 2
+    serial = Campaign(config.replace(jobs=1)).run_grid(
+        [Workload(["povray", "hmmer"])], ["LRU", "FIFO"])
+    assert results.to_json() == serial.to_json()
+
+
+def test_simulation_is_reproducible_across_processes():
+    """IPCs must not depend on the interpreter's hash salt.
+
+    Guards the campaign cache and the parallel engine: a result
+    computed in one process (or loaded from disk) must be exactly
+    reproducible in any other.
+    """
+    import json
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import json, sys\n"
+        "from repro.core.workload import Workload\n"
+        "from repro.sim.detailed import DetailedSimulator\n"
+        f"sim = DetailedSimulator(cores=2, policy='DIP', "
+        f"trace_length={TEST_TRACE_LENGTH}, seed=0)\n"
+        "run = sim.run(Workload(['povray', 'mcf']))\n"
+        "json.dump(run.ipcs, sys.stdout)\n"
+    )
+    ipcs = []
+    for hash_seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                   PYTHONPATH="src" + os.pathsep +
+                   os.environ.get("PYTHONPATH", ""))
+        output = subprocess.run(
+            [sys.executable, "-c", script], env=env, check=True,
+            capture_output=True, text=True).stdout
+        ipcs.append(json.loads(output))
+    assert ipcs[0] == ipcs[1]
+
+
+# ----------------------------------------------------------------------
+# Legacy shim
+
+
+def test_simulation_campaign_shim_warns_and_works():
+    from repro.sim.runner import SimulationCampaign
+
+    with pytest.warns(DeprecationWarning):
+        campaign = SimulationCampaign("badco", 2,
+                                      trace_length=TEST_TRACE_LENGTH)
+    assert isinstance(campaign, Campaign)
+    assert campaign.simulator == "badco"
+    assert campaign.trace_length == TEST_TRACE_LENGTH
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+        SimulationCampaign("zesto", 2)

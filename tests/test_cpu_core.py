@@ -6,7 +6,7 @@ from repro.bench.generator import generate_trace
 from repro.bench.spec import benchmark_by_name
 from repro.bench.trace import Trace, Uop, UopKind
 from repro.cpu.core import DetailedCore
-from repro.cpu.resources import CoreConfig, default_core_config
+from repro.cpu.resources import default_core_config
 
 from tests.conftest import TEST_TRACE_LENGTH
 

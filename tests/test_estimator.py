@@ -1,6 +1,5 @@
 """Empirical confidence estimation."""
 
-import math
 import random
 
 import pytest
@@ -9,7 +8,6 @@ from repro.core.confidence import confidence_from_cv
 from repro.core.delta import delta_statistics
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.sampling import SimpleRandomSampling
-from repro.core.workload import Workload
 
 
 def _delta(population, offset):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.workload import Workload
 from repro.experiments.common import (
     ExperimentContext,
     POLICY_PAIRS,

@@ -5,7 +5,6 @@ uncore -> campaigns -> statistics).  They use the SMALL scale and a
 shared per-session context, so the population is simulated once.
 """
 
-import math
 
 import pytest
 

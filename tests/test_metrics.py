@@ -1,6 +1,5 @@
 """Throughput metrics: eq. (1)/(2) semantics and weighted variants."""
 
-import math
 
 import pytest
 

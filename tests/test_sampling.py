@@ -1,7 +1,6 @@
 """Sampling methods: interface invariants shared by all four."""
 
 import random
-from collections import Counter
 
 import pytest
 

@@ -5,7 +5,6 @@ from collections import Counter
 
 import pytest
 
-from repro.core.population import WorkloadPopulation
 from repro.core.sampling import BalancedRandomSampling
 
 

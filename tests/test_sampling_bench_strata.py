@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.core.population import WorkloadPopulation, population_size
+from repro.core.population import population_size
 from repro.core.sampling import BenchmarkStratification
 from repro.core.sampling.benchmark_strata import benchmark_strata, stratum_size
 

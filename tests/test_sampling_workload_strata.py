@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling import WorkloadStratification, build_workload_strata
-from repro.core.workload import Workload
 
 
 def _delta_for(population, spread=1.0):

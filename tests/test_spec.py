@@ -4,7 +4,6 @@ import pytest
 
 from repro.bench.spec import (
     BenchmarkSpec,
-    MemoryPattern,
     MpkiClass,
     SPEC_2006,
     TABLE_IV,

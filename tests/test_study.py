@@ -8,7 +8,6 @@ from repro.core.metrics import IPCT, WSU
 from repro.core.planner import Recommendation
 from repro.core.sampling import SimpleRandomSampling
 from repro.core.study import PolicyComparisonStudy
-from repro.core.workload import Workload
 
 
 def _tables(population, gap, noise=0.05, seed=0):

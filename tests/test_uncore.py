@@ -3,9 +3,7 @@
 import pytest
 
 from repro.mem.uncore import (
-    CAPACITY_SCALE,
     Uncore,
-    UncoreConfig,
     uncore_config_for_cores,
 )
 
