@@ -15,6 +15,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.8",
+    install_requires=[
+        "numpy>=1.22",      # columnar analytics core (repro.core.columnar)
+    ],
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",

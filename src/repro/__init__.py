@@ -37,10 +37,12 @@ from repro.core import (
     BalancedRandomSampling,
     BenchmarkStratification,
     ConfidenceEstimator,
+    DeltaColumn,
     DeltaVariable,
     GuidelineDecision,
     HSU,
     IPCT,
+    IpcMatrix,
     METRICS,
     OverheadModel,
     PolicyComparisonStudy,
@@ -50,6 +52,7 @@ from repro.core import (
     ThroughputMetric,
     WeightedSample,
     Workload,
+    WorkloadIndex,
     WorkloadPopulation,
     WorkloadStratification,
     WSU,
@@ -96,6 +99,7 @@ __all__ = [
     "register_backend", "get_backend", "backend_names",
     # core
     "Workload", "WorkloadPopulation", "population_size",
+    "WorkloadIndex", "IpcMatrix", "DeltaColumn",
     "ThroughputMetric", "IPCT", "WSU", "HSU", "METRICS", "metric_by_name",
     "DeltaVariable", "delta_statistics",
     "confidence_from_cv", "required_sample_size",

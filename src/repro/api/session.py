@@ -163,6 +163,25 @@ class Session:
         campaign.save()
         return campaign.results
 
+    def panel(self, backend: Optional[str] = None, cores: int = 2,
+              policies: Optional[Sequence[str]] = None):
+        """Columnar view of a campaign: index + per-policy IPC matrices.
+
+        The array-native entry point for custom analytics: simulates
+        (or loads) the population grid like :meth:`results`, then
+        returns ``(index, matrices, reference)`` where ``index`` is a
+        :class:`~repro.core.columnar.WorkloadIndex` over the population,
+        ``matrices`` maps each policy to its
+        :class:`~repro.core.columnar.IpcMatrix`, and ``reference`` is
+        the single-thread reference IPC table.
+        """
+        chosen = ([validate_policy_name(p) for p in policies]
+                  if policies is not None else self.policies)
+        results = self.results(backend, cores, policies=chosen)
+        index, matrices = results.columnar_panel(
+            chosen, list(self.population(cores)))
+        return index, matrices, results.reference
+
     def study(self, baseline: str, candidate: str, *,
               metric: MetricLike = "IPCT", cores: int = 2,
               backend: Optional[str] = None) -> PolicyComparisonStudy:

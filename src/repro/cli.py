@@ -10,7 +10,9 @@ Commands:
                       on any registered simulator backend (``--backend``)
                       and optionally in parallel (``--jobs``);
 - ``plan``         -- apply the Section VII guideline to a cv value;
-- ``experiment``   -- run one of the paper's table/figure drivers.
+- ``experiment``   -- run one of the paper's table/figure drivers;
+- ``bench``        -- time the analytics hot paths (scalar vs columnar)
+                      and write ``BENCH_analytics.json``.
 """
 
 from __future__ import annotations
@@ -89,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
     experiment.add_argument("--jobs", type=int, default=1,
                             help="worker processes for campaigns (default 1)")
+
+    bench = sub.add_parser(
+        "bench", help="time the analytics hot paths (scalar vs columnar)")
+    bench.add_argument("--profile", choices=("full", "smoke"), default="full",
+                       help="full = the reference configuration "
+                            "(4 cores, 1000 draws); smoke = CI-sized")
+    bench.add_argument("--draws", type=int, default=None,
+                       help="Monte-Carlo draws (overrides the profile)")
+    bench.add_argument("--sample-size", type=int, default=None,
+                       help="workloads per sample (default 30)")
+    bench.add_argument("--cores", type=int, default=None,
+                       help="population core count (overrides the profile)")
+    bench.add_argument("--output", default="BENCH_analytics.json",
+                       help="result file ('' to skip writing)")
     return parser
 
 
@@ -164,6 +180,32 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.perf import DEFAULT_SAMPLE_SIZE, PROFILES, run_bench, \
+        speedups, write_bench
+
+    profile = PROFILES[args.profile]
+    draws = args.draws if args.draws is not None else profile["draws"]
+    cores = args.cores if args.cores is not None else profile["cores"]
+    sample_size = (args.sample_size if args.sample_size is not None
+                   else DEFAULT_SAMPLE_SIZE)
+    max_population = profile["max_population"] or None
+    records = run_bench(draws=draws, sample_size=sample_size, cores=cores,
+                        max_population=max_population)
+    print(f"{'benchmark':>34}  {'seconds':>10}  {'draws':>6}  {'N':>8}")
+    for r in records:
+        print(f"{r['name']:>34}  {r['seconds']:10.4f}  "
+              f"{r['draws']:6d}  {r['population_size']:8d}")
+    for stem, ratio in speedups(records).items():
+        print(f"speedup {stem}: {ratio:.1f}x")
+    if args.output:
+        write_bench(Path(args.output), records)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -197,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": lambda: _cmd_study(args),
         "plan": lambda: _cmd_plan(args),
         "experiment": lambda: _cmd_experiment(args),
+        "bench": lambda: _cmd_bench(args),
     }
     try:
         return handlers[args.command]()

@@ -13,6 +13,9 @@ the paper:
 - the four sampling methods: simple random, balanced random, benchmark
   stratification and workload stratification
   (:mod:`repro.core.sampling`);
+- the columnar analytics core -- workload indexes, IPC matrices and
+  d(w) vectors backing the vectorized statistics
+  (:mod:`repro.core.columnar`);
 - empirical confidence estimation by Monte-Carlo resampling
   (:mod:`repro.core.estimator`);
 - MPKI benchmark classification, Table IV
@@ -24,6 +27,7 @@ the paper:
 
 from repro.core.workload import Workload
 from repro.core.population import WorkloadPopulation, population_size
+from repro.core.columnar import DeltaColumn, IpcMatrix, WorkloadIndex
 from repro.core.metrics import (
     HSU,
     IPCT,
@@ -60,6 +64,9 @@ __all__ = [
     "Workload",
     "WorkloadPopulation",
     "population_size",
+    "WorkloadIndex",
+    "IpcMatrix",
+    "DeltaColumn",
     "ThroughputMetric",
     "IPCT",
     "WSU",

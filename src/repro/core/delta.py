@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.metrics import ReferenceIpcs, ThroughputMetric
 from repro.core.workload import Workload
@@ -71,27 +73,58 @@ class DeltaVariable:
         return self.metric.workload_throughput(
             ipcs, workload.benchmarks, self.reference)
 
+    def values_from_throughputs(self, tx, ty):
+        """d(w) from precomputed throughputs (scalars or arrays).
+
+        The single implementation behind both the scalar and the
+        columnar paths: every operation is element-wise, so applying it
+        to N-vectors is bit-identical to N scalar calls.
+        """
+        if self.metric.mean_kind == "A":
+            return ty - tx
+        if self.metric.mean_kind == "H":
+            return 1.0 / tx - 1.0 / ty
+        if np.any(np.asarray(tx) <= 0) or np.any(np.asarray(ty) <= 0):
+            raise ValueError("G-mean d(w) needs positive throughputs")
+        return np.log(ty) - np.log(tx)       # G-mean (footnote 3)
+
     def value(self, workload: Workload, ipcs_x: Sequence[float],
               ipcs_y: Sequence[float]) -> float:
         """d(w) for one workload given both machines' per-core IPCs."""
         tx = self.throughput(workload, ipcs_x)
         ty = self.throughput(workload, ipcs_y)
-        if self.metric.mean_kind == "A":
-            return ty - tx
-        if self.metric.mean_kind == "H":
-            return 1.0 / tx - 1.0 / ty
-        return math.log(ty) - math.log(tx)   # G-mean (footnote 3)
+        return float(self.values_from_throughputs(tx, ty))
 
     def table(self, workloads: Sequence[Workload], ipcs_x: IpcTable,
               ipcs_y: IpcTable) -> Dict[Workload, float]:
         """d(w) for every workload in a set."""
         return {w: self.value(w, ipcs_x[w], ipcs_y[w]) for w in workloads}
 
+    def column(self, index, ipcs_x: IpcTable, ipcs_y: IpcTable):
+        """d(w) for every indexed workload, as a columnar vector.
 
-def delta_statistics(values: Sequence[float]) -> DeltaStatistics:
-    """Mean and population standard deviation of d(w) samples."""
-    if not values:
+        The vectorized sibling of :meth:`table`: one array expression
+        instead of N scalar calls, with the IPC tables validated once.
+        Returns a :class:`repro.core.columnar.DeltaColumn`.
+        """
+        from repro.core.columnar import delta_column
+        return delta_column(self, index, ipcs_x, ipcs_y)
+
+
+def delta_statistics(
+        values: Union[Sequence[float], np.ndarray]) -> DeltaStatistics:
+    """Mean and population standard deviation of d(w) samples.
+
+    Accepts either a scalar sequence (summed left to right, the
+    historical behaviour) or a NumPy vector (pairwise summation; may
+    differ from the scalar path in the final ulp).
+    """
+    if len(values) == 0:
         raise ValueError("no d(w) values")
+    if isinstance(values, np.ndarray):
+        mean = float(values.mean())
+        variance = float(np.square(values - mean).mean())
+        return DeltaStatistics(mean=mean, std=math.sqrt(variance))
     n = len(values)
     mean = sum(values) / n
     variance = sum((v - mean) ** 2 for v in values) / n

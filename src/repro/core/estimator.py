@@ -5,16 +5,35 @@ by *measuring* the degree of confidence: draw many samples (1000 or
 10000), and count the fraction on which microarchitecture Y appears
 better than X.  :class:`ConfidenceEstimator` reproduces that
 experiment from a d(w) table.
+
+The estimator is columnar: d(w) lives in one float64 vector (a
+:class:`~repro.core.columnar.DeltaColumn`), every sampling method
+contributes a row-index :class:`~repro.core.sampling.base.SamplingPlan`,
+and all ``draws`` weighted means of a (method, size) point are computed
+as one batched array operation.  Results are bit-identical to the
+historical pure-Python loop, which is kept as
+:meth:`ConfidenceEstimator.confidence_scalar` -- both the reference
+implementation for the golden parity tests and the fallback for
+third-party sampling methods without a plan.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Optional, Sequence
 
+import numpy as np
+
+from repro.core.columnar import (
+    DeltaColumn,
+    DeltaLike,
+    WorkloadIndex,
+    as_delta_column,
+)
+from repro.core.metrics import _row_dot
 from repro.core.population import WorkloadPopulation
-from repro.core.sampling.base import SamplingMethod
+from repro.core.sampling.base import SamplingMethod, SamplingPlan
 from repro.core.workload import Workload
 
 
@@ -35,7 +54,10 @@ class ConfidenceEstimator:
 
     Args:
         population: the workload population being sampled.
-        delta: d(w) for every workload in the population.  The decision
+        delta: d(w) for every workload in the population -- a legacy
+            ``Mapping[Workload, float]``, a
+            :class:`~repro.core.columnar.DeltaColumn`, or a float
+            vector aligned with the population's order.  The decision
             statistic for every metric family is the weighted mean of
             d(w) over the sample (Section III), so the estimator only
             needs this table.
@@ -43,25 +65,67 @@ class ConfidenceEstimator:
             the paper uses 1000 (model validation) to 10000 (Fig. 6).
     """
 
-    def __init__(self, population: WorkloadPopulation,
-                 delta: Mapping[Workload, float], draws: int = 1000) -> None:
-        missing = [w for w in population if w not in delta]
-        if missing:
-            raise ValueError(
-                f"{len(missing)} workloads lack d(w) values "
-                f"(first: {missing[0]})")
+    def __init__(self, population: WorkloadPopulation, delta: DeltaLike,
+                 draws: int = 1000) -> None:
         self.population = population
-        self.delta = dict(delta)
+        if isinstance(delta, DeltaColumn):
+            if delta.index.workloads != tuple(population.workloads):
+                raise ValueError(
+                    "delta column indexed by different workloads than "
+                    "the population")
+            self.index = delta.index
+        else:
+            self.index = WorkloadIndex.from_population(population)
+        # Mapping input is validated with one set difference, reporting
+        # every missing workload (not an O(N) membership scan).
+        self.column = as_delta_column(self.index, delta)
         self.draws = draws
+        self._delta_mapping: Optional[Dict[Workload, float]] = None
+        # Keyed by identity but pinning the method object: an id() can
+        # be reused once its owner is garbage collected.
+        self._plans: Dict[int, tuple] = {}
+
+    @property
+    def delta(self) -> Dict[Workload, float]:
+        """The d(w) table as a dict (legacy view, built on demand)."""
+        if self._delta_mapping is None:
+            self._delta_mapping = self.column.as_mapping()
+        return self._delta_mapping
+
+    def _plan_for(self, method: SamplingMethod) -> Optional[SamplingPlan]:
+        key = id(method)
+        if key not in self._plans:
+            self._plans[key] = (method,
+                                method.plan(self.index, self.population))
+        return self._plans[key][1]
 
     def confidence(self, method: SamplingMethod, sample_size: int,
                    seed: int = 0) -> float:
         """Fraction of samples on which Y outperforms X (D > 0)."""
+        plan = self._plan_for(method)
+        if plan is None:            # method without a columnar path
+            return self.confidence_scalar(method, sample_size, seed=seed)
         rng = random.Random((seed << 16) ^ sample_size)
+        rows, weights = plan.rows_matrix(sample_size, self.draws, rng)
+        # _row_dot is bit-identical to WeightedSample.weighted_mean
+        # applied per row (left-to-right product accumulation).
+        means = _row_dot(self.column.values[rows], weights)
+        wins = int(np.count_nonzero(means > 0.0))
+        return wins / self.draws
+
+    def confidence_scalar(self, method: SamplingMethod, sample_size: int,
+                          seed: int = 0) -> float:
+        """The historical per-draw loop (reference implementation).
+
+        Kept for sampling methods that only implement ``sample`` and as
+        the golden baseline the vectorized path is tested against.
+        """
+        rng = random.Random((seed << 16) ^ sample_size)
+        delta = self.delta
         wins = 0
         for _ in range(self.draws):
             sample = method.sample(self.population, sample_size, rng)
-            values = [self.delta[w] for w in sample.workloads]
+            values = [delta[w] for w in sample.workloads]
             if sample.weighted_mean(values) > 0.0:
                 wins += 1
         return wins / self.draws

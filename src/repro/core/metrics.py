@@ -20,12 +20,17 @@ sample_throughput` taking optional weights.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
+import numpy as np
+
 #: Reference IPC table: benchmark name -> single-thread IPC.
 ReferenceIpcs = Mapping[str, float]
+
+# Scalar logs/exps go through NumPy so the scalar and columnar paths
+# agree bit for bit (np.log/np.exp can differ from math.log/math.exp in
+# the last ulp, but are elementwise-identical to themselves).
 
 
 def _amean(values: Sequence[float], weights: Optional[Sequence[float]]) -> float:
@@ -48,12 +53,66 @@ def _gmean(values: Sequence[float], weights: Optional[Sequence[float]]) -> float
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
     if weights is None:
-        return math.exp(sum(math.log(v) for v in values) / len(values))
+        return float(np.exp(sum(np.log(v) for v in values) / len(values)))
     total = sum(weights)
-    return math.exp(sum(w * math.log(v) for v, w in zip(values, weights)) / total)
+    return float(np.exp(
+        sum(w * np.log(v) for v, w in zip(values, weights)) / total))
 
 
 _MEANS = {"A": _amean, "H": _hmean, "G": _gmean}
+
+
+def _row_sum(matrix: np.ndarray) -> np.ndarray:
+    """Per-row sum accumulated column by column (left to right).
+
+    ``sum()`` over a Python list adds left to right; NumPy's pairwise
+    reduction may associate differently.  Accumulating one column at a
+    time keeps the columnar results bit-identical to the scalar path
+    (each addition is the same IEEE operation on the same operands).
+    """
+    acc = matrix[:, 0].copy()
+    for j in range(1, matrix.shape[1]):
+        acc += matrix[:, j]
+    return acc
+
+
+def _row_dot(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-row sum of ``matrix[:, j] * weights[j]``, left to right."""
+    acc = matrix[:, 0] * weights[0]
+    for j in range(1, matrix.shape[1]):
+        acc += matrix[:, j] * weights[j]
+    return acc
+
+
+def _xmean_rows(kind: str, values: np.ndarray,
+                weights: Optional[np.ndarray]) -> np.ndarray:
+    """The X-mean of every row of ``values`` (R x C) at once.
+
+    Bit-identical to applying ``_MEANS[kind]`` to each row.  ``weights``
+    (length C) apply to every row, matching the estimators' use where
+    the weight vector depends only on the sample layout, not the draw.
+    """
+    columns = values.shape[1]
+    if kind == "A":
+        if weights is None:
+            return _row_sum(values) / columns
+        return _row_dot(values, weights) / sum(weights.tolist())
+    if kind in ("H", "G") and np.any(values <= 0):
+        raise ValueError(
+            ("harmonic" if kind == "H" else "geometric")
+            + " mean requires positive values")
+    if kind == "H":
+        if weights is None:
+            return columns / _row_sum(1.0 / values)
+        acc = weights[0] / values[:, 0]
+        for j in range(1, columns):
+            acc += weights[j] / values[:, j]
+        return sum(weights.tolist()) / acc
+    # G-mean
+    logs = np.log(values)
+    if weights is None:
+        return np.exp(_row_sum(logs) / columns)
+    return np.exp(_row_dot(logs, weights) / sum(weights.tolist()))
 
 
 @dataclass(frozen=True)
@@ -99,6 +158,34 @@ class ThroughputMetric:
         if not per_workload:
             raise ValueError("empty sample")
         return _MEANS[self.mean_kind](per_workload, weights)
+
+    # ------------------------------------------------------------------
+    # Columnar (vectorized) forms -- bit-identical to the scalar ones.
+
+    def workload_throughputs(self, ratios: np.ndarray) -> np.ndarray:
+        """t(w) of eq. (1) for N workloads at once.
+
+        Args:
+            ratios: N x K matrix of per-core IPC / IPCref ratios (the
+                caller resolves references; see
+                :func:`repro.core.columnar.throughputs`).
+        """
+        return _xmean_rows(self.mean_kind, ratios, None)
+
+    def sample_throughputs(self, per_workload: np.ndarray,
+                           weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """T of eq. (2) for a whole batch of samples at once.
+
+        Args:
+            per_workload: R x W matrix, one sample of W per-workload
+                throughputs per row.
+            weights: optional length-W weight vector shared by all rows
+                (eq. (9)); the estimators' weights depend only on the
+                sample layout, never on the draw.
+        """
+        if per_workload.size == 0:
+            raise ValueError("empty sample")
+        return _xmean_rows(self.mean_kind, per_workload, weights)
 
     def __str__(self) -> str:
         return self.name

@@ -70,6 +70,7 @@ class WorkloadPopulation:
         self.cores = cores
         self.true_size = population_size(len(self.benchmarks), cores)
         self.is_exhaustive = max_size is None or self.true_size <= max_size
+        self._membership: Optional[frozenset] = None
         if self.is_exhaustive:
             self._workloads: List[Workload] = list(
                 enumerate_workloads(self.benchmarks, cores))
@@ -83,6 +84,40 @@ class WorkloadPopulation:
                     seen.add(w)
                     picks.append(w)
             self._workloads = sorted(picks)
+
+    @classmethod
+    def from_workloads(cls, workloads: Sequence[Workload],
+                       benchmarks: Optional[Sequence[str]] = None,
+                       ) -> "WorkloadPopulation":
+        """A population wrapping an explicit workload list.
+
+        The sampling frame of judged-by-detailed experiments (the
+        paper's Fig. 7) is the detailed-simulated subset, not a
+        combinatorial enumeration; this builds that frame without
+        private-attribute surgery.  The result is never exhaustive
+        (it is a subsample by construction).
+
+        Args:
+            workloads: the frame members, used as given (callers sort
+                if they need a canonical order).
+            benchmarks: the benchmark universe; defaults to the names
+                appearing in the workloads.
+        """
+        if not workloads:
+            raise ValueError("empty workload list")
+        cores = workloads[0].k
+        if any(w.k != cores for w in workloads):
+            raise ValueError("all workloads must have the same core count")
+        if benchmarks is None:
+            benchmarks = sorted({b for w in workloads for b in w})
+        frame = cls.__new__(cls)
+        frame.benchmarks = tuple(sorted(benchmarks))
+        frame.cores = cores
+        frame.true_size = population_size(len(frame.benchmarks), cores)
+        frame.is_exhaustive = False
+        frame._membership = None
+        frame._workloads = list(workloads)
+        return frame
 
     @property
     def workloads(self) -> Sequence[Workload]:
@@ -98,7 +133,9 @@ class WorkloadPopulation:
         return self._workloads[index]
 
     def __contains__(self, workload: Workload) -> bool:
-        return workload in set(self._workloads)
+        if self._membership is None:
+            self._membership = frozenset(self._workloads)
+        return workload in self._membership
 
     def benchmark_occurrences(self) -> dict:
         """Total occurrences of each benchmark across the population.

@@ -14,9 +14,18 @@ Four methods are compared in the paper, all available here behind the
 
 Every method returns a :class:`WeightedSample`; stratified estimates of
 throughput use the weighted means of eq. (9) via the sample's weights.
+For the columnar estimator, each method also offers a
+:class:`SamplingPlan` (``method.plan(index, population)``) that draws
+whole batches of *row numbers* -- bit-identical to ``sample`` for the
+same seeded generator.
 """
 
-from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.sampling.base import (
+    SamplingMethod,
+    SamplingPlan,
+    StratifiedRowPlan,
+    WeightedSample,
+)
 from repro.core.sampling.simple import SimpleRandomSampling
 from repro.core.sampling.balanced import BalancedRandomSampling
 from repro.core.sampling.allocation import (
@@ -38,6 +47,8 @@ SAMPLING_METHODS = ("random", "bal-random", "bench-strata", "workload-strata")
 
 __all__ = [
     "SamplingMethod",
+    "SamplingPlan",
+    "StratifiedRowPlan",
     "WeightedSample",
     "SimpleRandomSampling",
     "BalancedRandomSampling",

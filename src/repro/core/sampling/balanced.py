@@ -10,11 +10,58 @@ equally often (up to rounding when B does not divide W*K).
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.core.population import WorkloadPopulation
-from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.sampling.base import (
+    SamplingMethod,
+    SamplingPlan,
+    WeightedSample,
+)
 from repro.core.workload import Workload
+
+
+class BalancedRandomPlan(SamplingPlan):
+    """Balanced draws as row numbers.
+
+    Pool construction and shuffling run on integer benchmark codes
+    (``random.sample``/``random.shuffle`` consume the generator
+    identically regardless of element type), then the whole batch of
+    constructed workloads is mapped to rows in one vectorized
+    sort + binary search over the index's packed keys.
+    """
+
+    def __init__(self, index, population: WorkloadPopulation) -> None:
+        if not population.is_exhaustive:
+            raise ValueError(
+                "balanced random sampling needs the exhaustive workload "
+                "population; this frame is a subsample (paper footnote 6)")
+        self._index = index
+        self._num_benchmarks = len(population.benchmarks)
+        self._cores = population.cores
+
+    def rows_matrix(self, size: int, draws: int,
+                    rng: random.Random) -> Tuple[np.ndarray, np.ndarray]:
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        b, cores = self._num_benchmarks, self._cores
+        slots = size * cores
+        base, extra = divmod(slots, b)
+        template = [code for code in range(b) for _ in range(base)]
+        pools = np.empty((draws, slots), dtype=np.int64)
+        benchmarks = range(b)
+        for d in range(draws):
+            pool = list(template)
+            if extra:
+                pool.extend(rng.sample(benchmarks, extra))
+            rng.shuffle(pool)
+            pools[d] = pool
+        codes = np.sort(pools.reshape(draws * size, cores), axis=1)
+        rows = self._index.rows_from_codes(codes).reshape(draws, size)
+        weights = np.full(size, 1.0 / size)
+        return rows, weights
 
 
 class BalancedRandomSampling(SamplingMethod):
@@ -59,3 +106,8 @@ class BalancedRandomSampling(SamplingMethod):
         picks = [Workload(pool[i * cores:(i + 1) * cores])
                  for i in range(size)]
         return WeightedSample.uniform(picks)
+
+    def plan(self, index, population: WorkloadPopulation):
+        if type(self).sample is not BalancedRandomSampling.sample:
+            return None     # subclass changed the sampling behaviour
+        return BalancedRandomPlan(index, population)

@@ -1,10 +1,30 @@
-"""Sampling method interface and the weighted-sample container."""
+"""Sampling method interface, weighted samples and row-index plans.
+
+Two ways to draw a sample:
+
+- :meth:`SamplingMethod.sample` -- the historical object path: a
+  :class:`WeightedSample` of :class:`Workload` instances.
+- :meth:`SamplingMethod.plan` -- the columnar path: a
+  :class:`SamplingPlan` bound to a
+  :class:`~repro.core.columnar.WorkloadIndex` that draws *row numbers*
+  for many samples at once.  Plans consume the ``random.Random`` stream
+  exactly like ``sample`` does, so for the same seeded generator both
+  paths select the same workloads, in the same order, with the same
+  weights -- the estimator's vectorized results are bit-identical to
+  the scalar loop.
+
+Stratified methods represent their strata as row-index partitions: one
+list of row numbers per stratum, fixed at plan-build time, so each draw
+only pays for the per-stratum random picks.
+"""
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.population import WorkloadPopulation
 from repro.core.workload import Workload
@@ -57,6 +77,89 @@ class WeightedSample:
         return sum(v * w for v, w in zip(values, self.weights))
 
 
+class SamplingPlan:
+    """Row-index sampling bound to one workload index.
+
+    A plan is built once per (method, index) pair and then asked for
+    whole batches of samples.  Weights of every built-in method depend
+    only on the sample size (never on the draw), so a batch is one
+    ``(draws, size)`` row matrix plus one length-``size`` weight
+    vector.
+    """
+
+    def rows_matrix(self, size: int, draws: int,
+                    rng: random.Random) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``draws`` samples of ``size`` row numbers each.
+
+        Consumes ``rng`` exactly like ``draws`` sequential calls of the
+        method's :meth:`SamplingMethod.sample` would.
+
+        Returns:
+            ``(rows, weights)``: an int64 ``(draws, size)`` matrix and
+            the shared float64 weight vector (summing to 1).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class StratifiedRowPlan(SamplingPlan):
+    """Shared plan for stratified methods: strata as row partitions.
+
+    Args:
+        layout: callable mapping a sample size to the per-stratum
+            ``(rows, w_h)`` assignment, where ``rows`` is the stratum's
+            row-number list (population order or d(w) order -- whatever
+            the method's ``sample`` uses) and ``w_h`` its slot count.
+            Strata with ``w_h == 0`` must be omitted.
+        total: N, the frame size the stratum weights N_h / N refer to.
+    """
+
+    def __init__(self,
+                 layout: Callable[[int], List[Tuple[List[int], int]]],
+                 total: int) -> None:
+        self._layout = layout
+        self._total = total
+        self._cache: Dict[int, Tuple[List[Tuple[List[int], int]],
+                                     np.ndarray]] = {}
+
+    def _layout_for(self, size: int):
+        cached = self._cache.get(size)
+        if cached is None:
+            chosen = self._layout(size)
+            # Exactly the legacy weight arithmetic: per-pick weights
+            # (N_h / N) / W_h, renormalised left to right.
+            weights: List[float] = []
+            for rows, w_h in chosen:
+                weight = (len(rows) / self._total) / w_h
+                weights.extend([weight] * w_h)
+            scale = sum(weights)
+            weights = [w / scale for w in weights]
+            cached = (chosen, np.array(weights, dtype=np.float64))
+            self._cache[size] = cached
+        return cached
+
+    def rows_matrix(self, size: int, draws: int,
+                    rng: random.Random) -> Tuple[np.ndarray, np.ndarray]:
+        chosen, weights = self._layout_for(size)
+        slots = sum(w_h for _, w_h in chosen)
+        out = np.empty((draws, slots), dtype=np.int64)
+        for d in range(draws):
+            column = 0
+            for rows, w_h in chosen:
+                n_h = len(rows)
+                # Without replacement inside a stratum when possible
+                # (the same branch the object path takes).
+                if w_h <= n_h:
+                    picks = rng.sample(rows, w_h)
+                else:
+                    picks = [rows[rng.randrange(n_h)] for _ in range(w_h)]
+                out[d, column:column + w_h] = picks
+                column += w_h
+        return out, weights
+
+
 class SamplingMethod:
     """Interface: draw a weighted workload sample from a population."""
 
@@ -75,6 +178,22 @@ class SamplingMethod:
                 reproduces the same sample.
         """
         raise NotImplementedError
+
+    def plan(self, index, population: WorkloadPopulation
+             ) -> Optional[SamplingPlan]:
+        """A row-index plan for this method over ``index``.
+
+        Returns ``None`` when the method has no columnar path (the
+        estimator then falls back to the scalar loop, which works for
+        any :meth:`sample` implementation).
+
+        Args:
+            index: the :class:`~repro.core.columnar.WorkloadIndex`
+                whose rows the plan must emit (its order must match the
+                population's).
+            population: the population ``sample`` would receive.
+        """
+        return None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

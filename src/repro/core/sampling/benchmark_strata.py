@@ -22,7 +22,11 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling.allocation import largest_remainder_allocation
-from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.sampling.base import (
+    SamplingMethod,
+    StratifiedRowPlan,
+    WeightedSample,
+)
 from repro.core.workload import Workload
 
 #: A stratum signature: per-class occurrence counts, in class order.
@@ -146,3 +150,31 @@ class BenchmarkStratification(SamplingMethod):
         scale = sum(weights)
         weights = [w / scale for w in weights]
         return WeightedSample(tuple(workloads), tuple(weights))
+
+    def plan(self, index, population: WorkloadPopulation):
+        """Row-partition plan: class-composition strata built once.
+
+        The object path re-derives the strata on *every* draw (an O(N)
+        scan); the plan pays that once and each draw only performs the
+        per-stratum random picks.
+        """
+        if type(self).sample is not BenchmarkStratification.sample:
+            return None     # subclass changed the sampling behaviour
+        members = self._class_members(population)
+        labels = sorted(members)
+        strata: Dict[StratumKey, List[int]] = {}
+        for row, workload in enumerate(index.workloads):
+            strata.setdefault(
+                self.stratum_key(workload, labels), []).append(row)
+        keys = sorted(strata)
+        rows = [strata[k] for k in keys]
+        total = sum(len(r) for r in rows)
+
+        def layout(size: int) -> List[Tuple[List[int], int]]:
+            if size < 1:
+                raise ValueError("sample size must be >= 1")
+            allocation = largest_remainder_allocation(
+                [float(len(r)) for r in rows], size)
+            return [(r, w_h) for r, w_h in zip(rows, allocation) if w_h]
+
+        return StratifiedRowPlan(layout, total)

@@ -3,9 +3,38 @@
 from __future__ import annotations
 
 import random
+from typing import Tuple
+
+import numpy as np
 
 from repro.core.population import WorkloadPopulation
-from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.sampling.base import (
+    SamplingMethod,
+    SamplingPlan,
+    WeightedSample,
+)
+from repro.core.sampling.mtstream import MTStream
+
+
+class SimpleRandomPlan(SamplingPlan):
+    """Fully vectorized uniform draws with replacement.
+
+    ``sample`` consumes one ``_randbelow(N)`` per pick, so a whole
+    batch is ``draws * size`` consecutive outputs of the generator's
+    word stream -- which :class:`MTStream` replays in bulk.
+    """
+
+    def __init__(self, population_size: int) -> None:
+        self._n = population_size
+
+    def rows_matrix(self, size: int, draws: int,
+                    rng: random.Random) -> Tuple[np.ndarray, np.ndarray]:
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        stream = MTStream(rng)
+        rows = stream.randbelow(self._n, draws * size)
+        weights = np.full(size, 1.0 / size)
+        return rows.reshape(draws, size), weights
 
 
 class SimpleRandomSampling(SamplingMethod):
@@ -26,3 +55,8 @@ class SimpleRandomSampling(SamplingMethod):
         picks = [population[rng.randrange(len(population))]
                  for _ in range(size)]
         return WeightedSample.uniform(picks)
+
+    def plan(self, index, population: WorkloadPopulation):
+        if type(self).sample is not SimpleRandomSampling.sample:
+            return None     # subclass changed the sampling behaviour
+        return SimpleRandomPlan(len(population))

@@ -21,11 +21,17 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Mapping, Optional
+from typing import List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling.allocation import largest_remainder_allocation
-from repro.core.sampling.base import SamplingMethod, WeightedSample
+from repro.core.sampling.base import (
+    SamplingMethod,
+    StratifiedRowPlan,
+    WeightedSample,
+)
 from repro.core.workload import Workload
 
 #: Paper defaults for the stratification parameters (Section VI-B-2).
@@ -36,6 +42,42 @@ from repro.core.workload import Workload
 DEFAULT_MIN_STRATUM = 50
 DEFAULT_SD_THRESHOLD = 0.001
 ADAPTIVE_SD_FRACTION = 0.05
+
+
+def _adaptive_threshold(values: List[float]) -> float:
+    """T_SD adapted to the population's d(w) standard deviation."""
+    mean = sum(values) / len(values)
+    population_std = math.sqrt(
+        sum((v - mean) ** 2 for v in values) / len(values))
+    return ADAPTIVE_SD_FRACTION * population_std
+
+
+def _stratum_ranges(ordered_values: List[float], min_stratum: int,
+                    sd_threshold: float) -> List[range]:
+    """Cut ascending d(w) values into strata; [start, stop) ranges.
+
+    The single Welford scan behind both the mapping-based and the
+    columnar stratum builders (so they are bit-identical).
+    """
+    ranges: List[range] = []
+    start = 0
+    # Incremental mean/variance (Welford) for the open stratum.
+    mean = 0.0
+    m2 = 0.0
+    for i, value in enumerate(ordered_values):
+        n = i - start + 1
+        diff = value - mean
+        mean += diff / n
+        m2 += diff * (value - mean)
+        std = math.sqrt(m2 / n)
+        if n >= min_stratum and std > sd_threshold:
+            ranges.append(range(start, i + 1))
+            start = i + 1
+            mean = 0.0
+            m2 = 0.0
+    if start < len(ordered_values):
+        ranges.append(range(start, len(ordered_values)))
+    return ranges
 
 
 def build_workload_strata(delta: Mapping[Workload, float],
@@ -61,33 +103,11 @@ def build_workload_strata(delta: Mapping[Workload, float],
     if min_stratum < 1:
         raise ValueError("min_stratum must be >= 1")
     if sd_threshold is None:
-        values = list(delta.values())
-        mean = sum(values) / len(values)
-        population_std = math.sqrt(
-            sum((v - mean) ** 2 for v in values) / len(values))
-        sd_threshold = ADAPTIVE_SD_FRACTION * population_std
+        sd_threshold = _adaptive_threshold(list(delta.values()))
     ordered = sorted(delta, key=lambda w: delta[w])
-    strata: List[List[Workload]] = []
-    current: List[Workload] = []
-    # Incremental mean/variance (Welford) for the open stratum.
-    mean = 0.0
-    m2 = 0.0
-    for workload in ordered:
-        value = delta[workload]
-        current.append(workload)
-        n = len(current)
-        diff = value - mean
-        mean += diff / n
-        m2 += diff * (value - mean)
-        std = math.sqrt(m2 / n)
-        if n >= min_stratum and std > sd_threshold:
-            strata.append(current)
-            current = []
-            mean = 0.0
-            m2 = 0.0
-    if current:
-        strata.append(current)
-    return strata
+    ranges = _stratum_ranges([delta[w] for w in ordered],
+                             min_stratum, sd_threshold)
+    return [[ordered[i] for i in span] for span in ranges]
 
 
 class WorkloadStratification(SamplingMethod):
@@ -108,6 +128,38 @@ class WorkloadStratification(SamplingMethod):
                  sd_threshold: Optional[float] = None) -> None:
         self.strata = build_workload_strata(delta, min_stratum, sd_threshold)
         self._total = sum(len(s) for s in self.strata)
+
+    @classmethod
+    def from_column(cls, delta, min_stratum: int = DEFAULT_MIN_STRATUM,
+                    sd_threshold: Optional[float] = None
+                    ) -> "WorkloadStratification":
+        """Build the strata from a columnar d(w) vector.
+
+        Identical strata to the mapping constructor (same stable sort,
+        same Welford scan), without materialising a dict: the natural
+        companion of :class:`repro.core.columnar.DeltaColumn`.
+
+        Args:
+            delta: a :class:`~repro.core.columnar.DeltaColumn`.
+            min_stratum: W_T (default 50, the paper's value).
+            sd_threshold: T_SD (None = adaptive).
+        """
+        if len(delta) == 0:
+            raise ValueError("empty d(w) table")
+        if min_stratum < 1:
+            raise ValueError("min_stratum must be >= 1")
+        values = delta.values
+        if sd_threshold is None:
+            sd_threshold = _adaptive_threshold(values.tolist())
+        order = np.argsort(values, kind="stable")
+        ranges = _stratum_ranges(values[order].tolist(),
+                                 min_stratum, sd_threshold)
+        workloads = delta.index.workloads
+        instance = cls.__new__(cls)
+        instance.strata = [[workloads[order[i]] for i in span]
+                           for span in ranges]
+        instance._total = sum(len(s) for s in instance.strata)
+        return instance
 
     @property
     def num_strata(self) -> int:
@@ -172,3 +224,25 @@ class WorkloadStratification(SamplingMethod):
         scale = sum(weights)
         weights = [w / scale for w in weights]
         return WeightedSample(tuple(workloads), tuple(weights))
+
+    def plan(self, index, population: WorkloadPopulation):
+        """Row-partition plan over the d(w)-derived strata.
+
+        Merging for small sample sizes and slot allocation follow
+        :meth:`sample` exactly; the strata become row-number lists so
+        each draw is just the per-stratum random picks.
+        """
+        if type(self).sample is not WorkloadStratification.sample:
+            return None     # subclass changed the sampling behaviour
+        def layout(size: int) -> List[Tuple[List[int], int]]:
+            if size < 1:
+                raise ValueError("sample size must be >= 1")
+            strata = self._strata_for_size(size)
+            extra = largest_remainder_allocation(
+                [float(len(s)) for s in strata], size - len(strata))
+            # Every stratum keeps its one guaranteed slot, so no
+            # stratum ever has zero picks here.
+            return [(index.rows(stratum).tolist(), 1 + e)
+                    for stratum, e in zip(strata, extra)]
+
+        return StratifiedRowPlan(layout, self._total)

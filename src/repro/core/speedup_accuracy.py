@@ -12,6 +12,13 @@ falls within a relative tolerance epsilon of the population speedup
 S = T_Y / T_X.  Note this is a harder target than the paper's sign
 question: a method can identify the winner long before it pins the
 speedup down.
+
+Like the confidence estimator, the evaluator is columnar: per-workload
+throughputs are two float64 vectors, sampling methods draw row-index
+batches, and the ``draws`` speedup estimates of one evaluation point
+are a single batched array expression (bit-identical to the historical
+per-draw loop, which remains as the fallback for methods without a
+row plan).
 """
 
 from __future__ import annotations
@@ -20,9 +27,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
+from repro.core.columnar import IpcMatrix, WorkloadIndex, throughputs
 from repro.core.metrics import ReferenceIpcs, ThroughputMetric
 from repro.core.population import WorkloadPopulation
-from repro.core.sampling.base import SamplingMethod
+from repro.core.sampling.base import SamplingMethod, SamplingPlan
 from repro.core.workload import Workload
 
 IpcTable = Mapping[Workload, Sequence[float]]
@@ -65,37 +75,60 @@ class SpeedupAccuracyEvaluator:
         self.population = population
         self.metric = metric
         self.draws = draws
-        self._tx: Dict[Workload, float] = {}
-        self._ty: Dict[Workload, float] = {}
-        for workload in population:
-            self._tx[workload] = metric.workload_throughput(
-                ipcs_x[workload], workload.benchmarks, reference)
-            self._ty[workload] = metric.workload_throughput(
-                ipcs_y[workload], workload.benchmarks, reference)
-        population_x = metric.sample_throughput(
-            [self._tx[w] for w in population])
-        population_y = metric.sample_throughput(
-            [self._ty[w] for w in population])
+        self.index = WorkloadIndex.from_population(population)
+        matrix_x = IpcMatrix.from_table(self.index, ipcs_x, label="ipcs_x")
+        matrix_y = IpcMatrix.from_table(self.index, ipcs_y, label="ipcs_y")
+        self._tx = throughputs(metric, matrix_x, reference)
+        self._ty = throughputs(metric, matrix_y, reference)
+        population_x = metric.sample_throughput(self._tx.tolist())
+        population_y = metric.sample_throughput(self._ty.tolist())
         self.true_speedup = population_y / population_x
+        # Keyed by identity but pinning the method object: an id() can
+        # be reused once its owner is garbage collected.
+        self._plans: Dict[int, tuple] = {}
 
-    def _sample_speedup(self, workloads: Sequence[Workload],
-                        weights: Sequence[float]) -> float:
-        tx = self.metric.sample_throughput(
-            [self._tx[w] for w in workloads], weights)
-        ty = self.metric.sample_throughput(
-            [self._ty[w] for w in workloads], weights)
-        return ty / tx
+    def _plan_for(self, method: SamplingMethod) -> Optional[SamplingPlan]:
+        key = id(method)
+        if key not in self._plans:
+            self._plans[key] = (method,
+                                method.plan(self.index, self.population))
+        return self._plans[key][1]
 
     def evaluate(self, method: SamplingMethod, sample_size: int,
                  epsilon: float = 0.01, seed: int = 0) -> SpeedupAccuracy:
         """P(relative speedup error <= epsilon) at one sample size."""
+        plan = self._plan_for(method)
+        if plan is None:
+            return self._evaluate_scalar(method, sample_size, epsilon, seed)
         rng = random.Random((seed << 16) ^ sample_size)
+        rows, weights = plan.rows_matrix(sample_size, self.draws, rng)
+        sample_x = self.metric.sample_throughputs(self._tx[rows], weights)
+        sample_y = self.metric.sample_throughputs(self._ty[rows], weights)
+        errors = np.abs(sample_y / sample_x - self.true_speedup) \
+            / self.true_speedup
+        hits = int(np.count_nonzero(errors <= epsilon))
+        return SpeedupAccuracy(
+            method=method.name, sample_size=sample_size,
+            true_speedup=self.true_speedup, hit_rate=hits / self.draws,
+            mean_abs_error=float(errors.mean()))
+
+    def _evaluate_scalar(self, method: SamplingMethod, sample_size: int,
+                         epsilon: float, seed: int) -> SpeedupAccuracy:
+        """The historical per-draw loop (plan-less methods)."""
+        rng = random.Random((seed << 16) ^ sample_size)
+        tx, ty = self._tx, self._ty
+        row_of = self.index.row
         hits = 0
         errors: List[float] = []
         for _ in range(self.draws):
             sample = method.sample(self.population, sample_size, rng)
-            estimate = self._sample_speedup(sample.workloads, sample.weights)
-            error = abs(estimate - self.true_speedup) / self.true_speedup
+            rows = [row_of(w) for w in sample.workloads]
+            sample_x = self.metric.sample_throughput(
+                [tx[r] for r in rows], sample.weights)
+            sample_y = self.metric.sample_throughput(
+                [ty[r] for r in rows], sample.weights)
+            error = abs(sample_y / sample_x - self.true_speedup) \
+                / self.true_speedup
             errors.append(error)
             if error <= epsilon:
                 hits += 1

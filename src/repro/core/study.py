@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
+from repro.core.columnar import DeltaColumn, WorkloadIndex
 from repro.core.confidence import confidence_from_cv, required_sample_size
 from repro.core.delta import DeltaStatistics, DeltaVariable, delta_statistics
 from repro.core.estimator import ConfidenceEstimator
@@ -27,6 +28,10 @@ IpcTable = Mapping[Workload, Sequence[float]]
 class PolicyComparisonStudy:
     """Does microarchitecture Y outperform X on this population?
 
+    The d(w) table is built and held columnar (one index, one float64
+    vector); :attr:`delta` exposes the legacy mapping view on demand so
+    existing callers keep working.
+
     Args:
         population: the workload population (or large sample standing
             in for it).
@@ -41,10 +46,19 @@ class PolicyComparisonStudy:
         self.population = population
         self.metric = metric
         self.delta_variable = DeltaVariable(metric, reference)
-        self.delta: Dict[Workload, float] = self.delta_variable.table(
-            list(population), ipcs_x, ipcs_y)
+        self.index = WorkloadIndex.from_population(population)
+        self.delta_column: DeltaColumn = self.delta_variable.column(
+            self.index, ipcs_x, ipcs_y)
         self.statistics: DeltaStatistics = delta_statistics(
-            list(self.delta.values()))
+            self.delta_column.values)
+        self._delta_mapping: Optional[Dict[Workload, float]] = None
+
+    @property
+    def delta(self) -> Dict[Workload, float]:
+        """d(w) per workload (legacy mapping view of the column)."""
+        if self._delta_mapping is None:
+            self._delta_mapping = self.delta_column.as_mapping()
+        return self._delta_mapping
 
     # ------------------------------------------------------------------
     # Analytical model (Section III)
@@ -75,7 +89,8 @@ class PolicyComparisonStudy:
     # Empirical confidence (Sections V-VI)
 
     def estimator(self, draws: int = 1000) -> ConfidenceEstimator:
-        return ConfidenceEstimator(self.population, self.delta, draws=draws)
+        return ConfidenceEstimator(self.population, self.delta_column,
+                                   draws=draws)
 
     def empirical_confidence(self, method: SamplingMethod, sample_size: int,
                              draws: int = 1000, seed: int = 0) -> float:

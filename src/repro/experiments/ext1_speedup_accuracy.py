@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.classification import class_labels
+from repro.core.columnar import WorkloadIndex
 from repro.core.delta import DeltaVariable
 from repro.core.metrics import IPCT, ThroughputMetric
 from repro.core.sampling import (
@@ -71,14 +72,14 @@ def run(scale: Scale = Scale.MEDIUM,
         population, results.ipc_table(x), results.ipc_table(y), metric,
         results.reference, draws=min(context.parameters.draws, 1000))
     variable = DeltaVariable(metric, results.reference)
-    delta = variable.table(list(population), results.ipc_table(x),
-                           results.ipc_table(y))
+    delta = variable.column(WorkloadIndex.from_population(population),
+                            results.ipc_table(x), results.ipc_table(y))
     classes = class_labels(run_table4(scale, context).mpki)
     methods = [SimpleRandomSampling()]
     if population.is_exhaustive:
         methods.append(BalancedRandomSampling())
     methods.append(BenchmarkStratification(classes))
-    methods.append(WorkloadStratification(
+    methods.append(WorkloadStratification.from_column(
         delta, min_stratum=max(10, len(population) // 40)))
     hit_rates: Dict[str, List[float]] = {}
     mean_errors: Dict[str, List[float]] = {}

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import WorkloadIndex
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import IPCT
@@ -111,8 +112,9 @@ def run(scale: Scale = Scale.MEDIUM,
     results = context.population_results(cores, "badco")
     population = context.population(cores)
     variable = DeltaVariable(IPCT, results.reference)
-    delta_truth = variable.table(list(population), results.ipc_table(x),
-                                 results.ipc_table(y))
+    index = WorkloadIndex.from_population(population)
+    delta_truth = variable.column(index, results.ipc_table(x),
+                                  results.ipc_table(y))
     # Interval-simulator d(w) over the same population.
     interval_delta: Dict[Workload, float] = {}
     for workload in population:
@@ -129,7 +131,7 @@ def run(scale: Scale = Scale.MEDIUM,
     min_stratum = max(10, len(population) // 40)
     methods = {
         "random": SimpleRandomSampling(),
-        "strata-from-badco": WorkloadStratification(
+        "strata-from-badco": WorkloadStratification.from_column(
             delta_truth, min_stratum=min_stratum),
         "strata-from-interval": WorkloadStratification(
             interval_delta, min_stratum=min_stratum),

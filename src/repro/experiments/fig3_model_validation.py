@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import WorkloadIndex
 from repro.core.confidence import confidence_from_cv
 from repro.core.delta import DeltaVariable, delta_statistics
 from repro.core.estimator import ConfidenceEstimator
@@ -63,9 +64,10 @@ def run(scale: Scale = Scale.MEDIUM,
         results = context.population_results(cores, backend)
         population = context.population(cores)
         variable = DeltaVariable(metric, results.reference)
-        delta = variable.table(list(population), results.ipc_table(x),
-                               results.ipc_table(y))
-        stats = delta_statistics(list(delta.values()))
+        index = WorkloadIndex.from_population(population)
+        delta = variable.column(index, results.ipc_table(x),
+                                results.ipc_table(y))
+        stats = delta_statistics(delta.values)
         estimator = ConfidenceEstimator(population, delta,
                                         draws=context.parameters.draws)
         method = SimpleRandomSampling()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import delta_column_from_matrices
 from repro.core.delta import DeltaVariable, delta_statistics
 from repro.core.metrics import METRICS, ThroughputMetric
 from repro.core.workload import Workload
@@ -32,11 +33,11 @@ def inverse_cv(results: PopulationResults, workloads: Sequence[Workload],
                policy_x: str, policy_y: str,
                metric: ThroughputMetric) -> float:
     """1/cv of d(w) for Y-vs-X over the given workloads."""
+    _, matrices = results.columnar_panel((policy_x, policy_y), workloads)
     variable = DeltaVariable(metric, results.reference)
-    values = [variable.value(w, results.ipcs(policy_x, w),
-                             results.ipcs(policy_y, w))
-              for w in workloads]
-    return delta_statistics(values).inverse_cv
+    column = delta_column_from_matrices(
+        variable, matrices[policy_x], matrices[policy_y])
+    return delta_statistics(column.values).inverse_cv
 
 
 @dataclass
@@ -80,13 +81,22 @@ def run(scale: Scale = Scale.MEDIUM,
         tables["badco-population"] = (
             context.population_results(cores, approx_backend),
             list(context.population(cores)))
+    # One columnar panel per source: every policy's IPC matrix is built
+    # (and validated) once, then all pair x metric cells are array ops.
+    policies = sorted({p for pair in pairs for p in pair})
+    panels = {
+        source: (results, results.columnar_panel(policies, workloads)[1])
+        for source, (results, workloads) in tables.items()}
     for pair in pairs:
         x, y = pair
         bars[pair] = {}
         for metric in METRICS:
             cells = {}
-            for source, (results, workloads) in tables.items():
-                cells[source] = inverse_cv(results, workloads, x, y, metric)
+            for source, (results, matrices) in panels.items():
+                variable = DeltaVariable(metric, results.reference)
+                column = delta_column_from_matrices(
+                    variable, matrices[x], matrices[y])
+                cells[source] = delta_statistics(column.values).inverse_cv
             bars[pair][metric.name] = cells
     return Fig4Result(cores=cores, bars=bars)
 

@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import delta_column_from_matrices
 from repro.core.confidence import required_sample_size
+from repro.core.delta import DeltaVariable, delta_statistics
 from repro.core.metrics import METRICS
 from repro.experiments.common import ExperimentContext, POLICY_PAIRS, Scale
-from repro.experiments.fig4_cv_bars import inverse_cv
 
 
 @dataclass
@@ -61,12 +62,18 @@ def run(scale: Scale = Scale.MEDIUM,
     context = context or ExperimentContext(scale)
     results = context.population_results(cores, backend)
     workloads = list(context.population(cores))
+    policies = sorted({p for pair in pairs for p in pair})
+    _, matrices = results.columnar_panel(policies, workloads)
     bars: Dict[Tuple[str, str], Dict[str, float]] = {}
     for pair in pairs:
         x, y = pair
-        bars[pair] = {
-            metric.name: inverse_cv(results, workloads, x, y, metric)
-            for metric in METRICS}
+        bars[pair] = {}
+        for metric in METRICS:
+            variable = DeltaVariable(metric, results.reference)
+            column = delta_column_from_matrices(
+                variable, matrices[x], matrices[y])
+            bars[pair][metric.name] = \
+                delta_statistics(column.values).inverse_cv
     return Fig5Result(cores=cores, bars=bars)
 
 

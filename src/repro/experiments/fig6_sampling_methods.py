@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.classification import class_labels
+from repro.core.columnar import WorkloadIndex
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import IPCT, ThroughputMetric
@@ -73,14 +74,15 @@ def run(scale: Scale = Scale.MEDIUM,
     classes = class_labels(run_table4(scale, context).mpki)
     curves: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
     strata_counts: Dict[Tuple[str, str], int] = {}
+    index = WorkloadIndex.from_population(population)
     for pair in pairs:
         x, y = pair
         variable = DeltaVariable(metric, results.reference)
-        delta = variable.table(list(population), results.ipc_table(x),
-                               results.ipc_table(y))
+        delta = variable.column(index, results.ipc_table(x),
+                                results.ipc_table(y))
         estimator = ConfidenceEstimator(population, delta,
                                         draws=context.parameters.draws)
-        stratifier = WorkloadStratification(
+        stratifier = WorkloadStratification.from_column(
             delta, min_stratum=max(10, len(population) // 40))
         strata_counts[pair] = stratifier.num_strata
         methods = [SimpleRandomSampling()]

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.classification import class_labels
+from repro.core.columnar import WorkloadIndex
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import IPCT, ThroughputMetric
@@ -72,22 +73,21 @@ def run(scale: Scale = Scale.MEDIUM,
         sample_workloads = context.detailed_sample(cores)
         detailed = context.sample_results(cores)
         badco = context.results_for(cores, sample_workloads, approx_backend)
-        frame = WorkloadPopulation(context.benchmarks, cores,
-                                   max_size=1, seed=context.seed)
-        # Replace the frame's contents with the detailed-simulated set.
-        frame._workloads = list(sample_workloads)
-        frame.is_exhaustive = False
+        # The sampling frame *is* the detailed-simulated subset.
+        frame = WorkloadPopulation.from_workloads(
+            sample_workloads, benchmarks=context.benchmarks)
+        index = WorkloadIndex.from_population(frame)
         variable_detailed = DeltaVariable(metric, detailed.reference)
-        delta_detailed = variable_detailed.table(
-            sample_workloads, detailed.ipc_table(x), detailed.ipc_table(y))
+        delta_detailed = variable_detailed.column(
+            index, detailed.ipc_table(x), detailed.ipc_table(y))
         variable_badco = DeltaVariable(metric, badco.reference)
-        delta_badco = variable_badco.table(
-            sample_workloads, badco.ipc_table(x), badco.ipc_table(y))
+        delta_badco = variable_badco.column(
+            index, badco.ipc_table(x), badco.ipc_table(y))
         # Judge with detailed IPCs; select (stratify) with BADCO's d(w).
         estimator = ConfidenceEstimator(
             frame, delta_detailed,
             draws=min(context.parameters.draws, 1000))
-        stratifier = WorkloadStratification(
+        stratifier = WorkloadStratification.from_column(
             delta_badco, min_stratum=max(4, len(sample_workloads) // 10))
         # The frame is the detailed-simulated subset, never exhaustive,
         # so balanced sampling is skipped -- exactly as the paper does

@@ -1,0 +1,153 @@
+"""Performance harness for the analytics hot paths (``repro bench``).
+
+Times the statistics stack -- the Monte-Carlo confidence estimator and
+the d(w) table construction -- on a fixed synthetic population, in both
+the legacy scalar and the columnar (NumPy) implementations, so every PR
+can compare against the recorded trajectory.
+
+Results serialise to ``BENCH_analytics.json`` as a list of records::
+
+    {"name": ..., "seconds": ..., "draws": ..., "population_size": ...}
+
+``draws`` is 0 for entries that are not Monte-Carlo loops (the delta
+builders).  The scalar/columnar pairing is by name suffix:
+``estimator-random-scalar`` vs ``estimator-random-columnar``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.spec import benchmark_names
+from repro.core.columnar import WorkloadIndex
+from repro.core.delta import DeltaVariable
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.metrics import WSU
+from repro.core.population import WorkloadPopulation
+from repro.core.sampling import (
+    BenchmarkStratification,
+    SimpleRandomSampling,
+    WorkloadStratification,
+)
+
+#: The acceptance configuration: 1000 draws, samples of 30 workloads.
+DEFAULT_DRAWS = 1000
+DEFAULT_SAMPLE_SIZE = 30
+DEFAULT_CORES = 4
+
+#: Profiles: (cores, draws, population cap).  "full" is the reference
+#: configuration recorded in BENCH_analytics.json; "smoke" is sized for
+#: CI (a couple of seconds end to end).
+PROFILES: Dict[str, Dict[str, int]] = {
+    "full": {"cores": DEFAULT_CORES, "draws": DEFAULT_DRAWS,
+             "max_population": 0},
+    "smoke": {"cores": 2, "draws": 200, "max_population": 0},
+}
+
+
+def _time(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one call."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(draws: int = DEFAULT_DRAWS,
+              sample_size: int = DEFAULT_SAMPLE_SIZE,
+              cores: int = DEFAULT_CORES,
+              max_population: Optional[int] = None,
+              seed: int = 0,
+              repeat: int = 3) -> List[Dict[str, object]]:
+    """Time the hot paths on a synthetic population.
+
+    The population is combinatorial (the 22 synthetic SPEC benchmarks
+    at ``cores``); IPC tables are synthetic as well -- the harness
+    measures the *statistics* layer, not the simulators.
+
+    Returns:
+        Bench records (see module docstring), scalar and columnar
+        variants side by side.
+    """
+    names = benchmark_names()
+    population = WorkloadPopulation(names, cores, max_size=max_population,
+                                    seed=seed)
+    rng = random.Random(seed)
+    ipcs_x = {w: [0.4 + rng.random() for _ in range(w.k)]
+              for w in population}
+    ipcs_y = {w: [0.4 + rng.random() for _ in range(w.k)]
+              for w in population}
+    reference = {b: 0.7 + rng.random() for b in names}
+    variable = DeltaVariable(WSU, reference)
+    index = WorkloadIndex.from_population(population)
+
+    records: List[Dict[str, object]] = []
+
+    def record(name: str, seconds: float, mc_draws: int) -> None:
+        records.append({
+            "name": name,
+            "seconds": seconds,
+            "draws": mc_draws,
+            "population_size": len(population),
+        })
+
+    # --- d(w) construction: per-workload loop vs one array expression.
+    workloads = list(population)
+    record("delta-wsu-scalar",
+           _time(lambda: variable.table(workloads, ipcs_x, ipcs_y), repeat),
+           0)
+    record("delta-wsu-columnar",
+           _time(lambda: variable.column(index, ipcs_x, ipcs_y), repeat),
+           0)
+
+    # --- Monte-Carlo confidence: the dominant wall-clock cost.
+    delta = variable.column(index, ipcs_x, ipcs_y)
+    estimator = ConfidenceEstimator(population, delta, draws=draws)
+    mapping = delta.as_mapping()
+
+    labels = ("low", "mid", "high")
+    classes = {b: labels[i % 3] for i, b in enumerate(names)}
+    methods = [
+        ("random", SimpleRandomSampling(), repeat),
+        ("workload-strata",
+         WorkloadStratification(mapping,
+                                min_stratum=max(10, len(population) // 40)),
+         repeat),
+        # The scalar path re-derives the class strata from the whole
+        # population on every draw, so this one is timed once.
+        ("bench-strata", BenchmarkStratification(classes), 1),
+    ]
+    for label, method, tries in methods:
+        record(f"estimator-{label}-scalar",
+               _time(lambda m=method: estimator.confidence_scalar(
+                   m, sample_size, seed=seed), tries),
+               draws)
+        record(f"estimator-{label}-columnar",
+               _time(lambda m=method: estimator.confidence(
+                   m, sample_size, seed=seed), tries),
+               draws)
+    return records
+
+
+def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
+    """Scalar / columnar wall-clock ratio per benchmark pair."""
+    by_name = {str(r["name"]): float(r["seconds"]) for r in records}
+    ratios: Dict[str, float] = {}
+    for name, seconds in by_name.items():
+        if not name.endswith("-scalar"):
+            continue
+        stem = name[:-len("-scalar")]
+        columnar = by_name.get(stem + "-columnar")
+        if columnar:
+            ratios[stem] = seconds / columnar
+    return ratios
+
+
+def write_bench(path: Path, records: List[Dict[str, object]]) -> None:
+    Path(path).write_text(json.dumps(records, indent=2) + "\n")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.workload import Workload
 
@@ -73,6 +73,35 @@ class PopulationResults:
 
     def has(self, policy: str, workload: Workload) -> bool:
         return policy in self._ipcs and workload in self._ipcs[policy]
+
+    def columnar_panel(self, policies: Optional[Sequence[str]] = None,
+                       workloads: Optional[Sequence[Workload]] = None):
+        """Index + per-policy IPC matrices for the columnar layer.
+
+        One validated conversion feeding every downstream array
+        computation (deltas, studies, estimators), instead of each
+        consumer re-walking the mapping tables.
+
+        Args:
+            policies: policies to include (default: all recorded).
+            workloads: row order (default: the workloads common to the
+                selected policies, sorted).
+
+        Returns:
+            ``(index, matrices)``: the
+            :class:`~repro.core.columnar.WorkloadIndex` and a dict of
+            policy name to :class:`~repro.core.columnar.IpcMatrix`.
+        """
+        from repro.core.columnar import IpcMatrix, WorkloadIndex
+
+        chosen = list(policies) if policies is not None else self.policies
+        if workloads is None:
+            tables = [set(self._ipcs[p]) for p in chosen]
+            workloads = sorted(set.intersection(*tables)) if tables else []
+        index = WorkloadIndex(tuple(workloads))
+        matrices = {p: IpcMatrix.from_table(index, self._ipcs[p], label=p)
+                    for p in chosen}
+        return index, matrices
 
     def __len__(self) -> int:
         return sum(len(t) for t in self._ipcs.values())

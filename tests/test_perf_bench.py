@@ -1,0 +1,57 @@
+"""The analytics perf harness and its CLI subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.perf import run_bench, speedups, write_bench
+
+SCHEMA_KEYS = {"name", "seconds", "draws", "population_size"}
+
+
+def _smoke_records():
+    # Tiny but real: 2 cores (253 workloads), few draws, single repeat.
+    return run_bench(draws=50, sample_size=10, cores=2, repeat=1)
+
+
+def test_records_follow_schema():
+    records = _smoke_records()
+    assert records, "harness produced no records"
+    for record in records:
+        assert set(record) == SCHEMA_KEYS
+        assert record["seconds"] > 0
+        assert record["population_size"] == 253
+    names = [r["name"] for r in records]
+    assert len(names) == len(set(names))
+    # Every scalar entry has its columnar sibling.
+    scalars = {n for n in names if n.endswith("-scalar")}
+    for name in scalars:
+        assert name.replace("-scalar", "-columnar") in names
+
+
+def test_speedups_pair_scalar_with_columnar():
+    records = _smoke_records()
+    ratios = speedups(records)
+    assert set(ratios) == {
+        "delta-wsu", "estimator-random", "estimator-workload-strata",
+        "estimator-bench-strata"}
+    # The columnar bench-strata estimator skips the per-draw O(N)
+    # strata rebuild; even at smoke scale that is a decisive win.
+    assert ratios["estimator-bench-strata"] > 2
+
+
+def test_write_bench_round_trips(tmp_path):
+    records = _smoke_records()
+    path = tmp_path / "BENCH_analytics.json"
+    write_bench(path, records)
+    assert json.loads(path.read_text()) == records
+
+
+def test_cli_bench_writes_output(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--profile", "smoke", "--draws", "20",
+                 "--sample-size", "5", "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert all(set(r) == SCHEMA_KEYS for r in payload)
+    stdout = capsys.readouterr().out
+    assert "speedup estimator-random" in stdout
