@@ -13,7 +13,7 @@ Layers, bottom up:
 
 - :mod:`repro.api.backends` -- the :class:`SimulatorBackend` protocol
   and the :data:`BACKENDS` registry (``detailed`` / ``badco`` /
-  ``interval``, plus anything registered at runtime);
+  ``interval`` / ``analytic``, plus anything registered at runtime);
 - :mod:`repro.api.config` -- :class:`CampaignConfig`, the frozen value
   object that identifies a campaign and names its cache entry;
 - :mod:`repro.api.engine` -- :class:`Campaign`, the serial/parallel
@@ -26,12 +26,14 @@ Layers, bottom up:
 
 from repro.api.backends import (
     BACKENDS,
+    AnalyticBackend,
     BadcoBackend,
     DetailedBackend,
     IntervalBackend,
     SimulatorBackend,
     UnknownBackendError,
     backend_names,
+    backend_supports_batch,
     get_backend,
     register_backend,
 )
@@ -50,7 +52,8 @@ __all__ = [
     # backends
     "BACKENDS", "SimulatorBackend", "UnknownBackendError",
     "DetailedBackend", "BadcoBackend", "IntervalBackend",
-    "register_backend", "get_backend", "backend_names",
+    "AnalyticBackend", "register_backend", "get_backend",
+    "backend_names", "backend_supports_batch",
     # campaigns
     "CampaignConfig", "Campaign", "CampaignTiming", "RESULTS_VERSION",
     # scales

@@ -8,7 +8,15 @@ repository's three families:
 - ``detailed`` -- the slow ground truth (out-of-order cores);
 - ``badco``    -- the paper's fast approximate simulator (two training
   runs per benchmark, per-node latency sensitivities);
-- ``interval`` -- the cruder one-training-run interval model.
+- ``interval`` -- the cruder one-training-run interval model;
+- ``analytic`` -- the array-evaluated BADCO variant: whole workload
+  panels in a handful of NumPy calls (see :mod:`repro.sim.analytic`).
+
+Backends whose simulators can score many workloads per call declare it
+with ``supports_batch = True``; their simulator objects then expose
+``run_batch(workloads) -> BatchRun`` next to the per-workload ``run``,
+and the campaign engine dispatches grids to the batch path (serial or
+chunked over the process pool) instead of the per-workload loop.
 
 Third-party simulators plug in without touching this package::
 
@@ -41,6 +49,11 @@ class SimulatorBackend(Protocol):
     :class:`~repro.sim.detailed.DetailedSimulator`,
     :class:`~repro.sim.badco.BadcoSimulator` and
     :class:`~repro.sim.interval.IntervalSimulator`.
+
+    Backends may additionally declare ``supports_batch = True`` (left
+    out of the protocol so plain factories still conform) when their
+    simulators expose ``run_batch(workloads) -> BatchRun``; the engine
+    queries it via :func:`backend_supports_batch`.
     """
 
     name: str
@@ -120,6 +133,34 @@ class IntervalBackend:
             seed=seed)
 
 
+class AnalyticBackend:
+    """The array-evaluated BADCO model (batch-capable, shared builder)."""
+
+    name = "analytic"
+    supports_batch = True
+
+    def make_builder(self, trace_length: int, seed: int) -> Any:
+        from repro.sim.analytic import AnalyticModelBuilder
+
+        return AnalyticModelBuilder(trace_length, seed)
+
+    def make_simulator(self, cores: int, policy: str, trace_length: int,
+                       warmup_fraction: float = 0.25, seed: int = 0,
+                       builder: Optional[Any] = None) -> Any:
+        from repro.sim.analytic import AnalyticSimulator
+
+        return AnalyticSimulator(
+            cores=cores, policy=policy,
+            builder=builder or self.make_builder(trace_length, seed),
+            trace_length=trace_length, warmup_fraction=warmup_fraction,
+            seed=seed)
+
+
+def backend_supports_batch(backend: SimulatorBackend) -> bool:
+    """Whether a backend's simulators offer the ``run_batch`` path."""
+    return bool(getattr(backend, "supports_batch", False))
+
+
 class UnknownBackendError(ValueError):
     """Raised for a backend name absent from :data:`BACKENDS`."""
 
@@ -177,3 +218,4 @@ def backend_names() -> Tuple[str, ...]:
 register_backend(DetailedBackend())
 register_backend(BadcoBackend())
 register_backend(IntervalBackend())
+register_backend(AnalyticBackend())

@@ -88,6 +88,18 @@ class CampaignConfig:
             return None
         return Path(self.cache_dir) / f"{self.cache_key}.json"
 
+    @property
+    def cache_npz_path(self) -> Optional[Path]:
+        """The ``.npz`` twin written next to :attr:`cache_path`.
+
+        Same key, columnar payload: loads restore whole IPC panels as
+        matrices (no per-workload mapping rebuild), which is what makes
+        re-opening 10^6-workload campaigns cheap.
+        """
+        if self.cache_dir is None:
+            return None
+        return Path(self.cache_dir) / f"{self.cache_key}.npz"
+
     def replace(self, **changes) -> "CampaignConfig":
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)

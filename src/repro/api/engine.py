@@ -16,6 +16,19 @@ produced them -- so the resulting :class:`~repro.sim.results.
 PopulationResults` is bit-identical to a ``jobs=1`` run, down to its
 JSON serialisation.  Every simulation is independent (fresh uncore,
 fixed seeds), which is what makes this safe.
+
+Backends declaring ``supports_batch`` (see
+:func:`repro.api.backends.backend_supports_batch`) take the *batch*
+path instead: per policy, all pending workloads are scored by one
+``run_batch`` array call (``jobs=1``) or by ``jobs`` contiguous chunks
+on the pool, and the panel streams into the results columnar store via
+:meth:`~repro.sim.results.PopulationResults.record_batch`.  Batch rows
+are independent, so chunking never changes values and ``jobs=4 ==
+jobs=1`` holds here too.
+
+Campaigns with a cache directory persist both the JSON interchange
+format and an ``.npz`` twin next to it; loads prefer the npz, which
+restores panels as matrices without the per-workload mapping rebuild.
 """
 
 from __future__ import annotations
@@ -26,7 +39,11 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.api.backends import SimulatorBackend, get_backend
+from repro.api.backends import (
+    SimulatorBackend,
+    backend_supports_batch,
+    get_backend,
+)
 from repro.api.config import CampaignConfig
 from repro.core.workload import Workload
 from repro.sim.results import PopulationResults
@@ -64,20 +81,30 @@ def _worker_init(backend: SimulatorBackend, config: CampaignConfig,
     _WORKER_STATE["builder"] = builder
 
 
-def _worker_simulate(task: Tuple[str, str]) -> Tuple[str, str, List[float],
-                                                     int, float]:
-    policy, workload_key = task
+def _worker_simulator(policy: str):
     backend: SimulatorBackend = _WORKER_STATE["backend"]
     config: CampaignConfig = _WORKER_STATE["config"]
     builder = _WORKER_STATE["builder"]
     if builder is None:
         builder = backend.make_builder(config.trace_length, config.seed)
         _WORKER_STATE["builder"] = builder
-    simulator = backend.make_simulator(
+    return backend.make_simulator(
         config.cores, policy, config.trace_length,
         config.warmup_fraction, config.seed, builder=builder)
-    run = simulator.run(Workload.from_key(workload_key))
+
+
+def _worker_simulate(task: Tuple[str, str]) -> Tuple[str, str, List[float],
+                                                     int, float]:
+    policy, workload_key = task
+    run = _worker_simulator(policy).run(Workload.from_key(workload_key))
     return policy, workload_key, run.ipcs, run.instructions, run.wall_seconds
+
+
+def _worker_simulate_batch(task: Tuple[str, Tuple[str, ...]]):
+    policy, keys = task
+    simulator = _worker_simulator(policy)
+    run = simulator.run_batch([Workload.from_key(k) for k in keys])
+    return policy, keys, run.ipcs, run.instructions, run.wall_seconds
 
 
 def _pool_context():
@@ -140,16 +167,38 @@ class Campaign:
 
     def _try_load(self) -> None:
         path = self.config.cache_path
+        npz = self.config.cache_npz_path
+        if npz is not None and npz.exists() and not (
+                path.exists()
+                and path.stat().st_mtime > npz.stat().st_mtime):
+            # The fast twin: panels come back as matrices, no mapping
+            # rebuild (see PopulationResults.load_npz).  A JSON file
+            # newer than the npz (hand-regenerated) wins; a corrupt
+            # npz (e.g. a save interrupted mid-write) falls through.
+            try:
+                self.results = PopulationResults.load_npz(npz)
+                self._loaded_from_cache = True
+                return
+            except Exception:
+                pass
         if path.exists():
             self.results = PopulationResults.load(path)
             self._loaded_from_cache = True
 
     def save(self) -> None:
-        """Persist results (no-op without a cache directory)."""
+        """Persist results (no-op without a cache directory).
+
+        Writes the JSON interchange file and its ``.npz`` twin side by
+        side; loads prefer the npz.
+        """
         path = self.config.cache_path
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
+            # JSON first, npz second: the npz ends up the newer twin,
+            # so _try_load prefers it (a half-written npz from a crash
+            # here is caught by the load fallback).
             self.results.save(path)
+            self.results.save_npz(self.config.cache_npz_path)
 
     # ------------------------------------------------------------------
     # Simulation
@@ -179,12 +228,88 @@ class Campaign:
         module docstring).
         """
         workloads = list(workloads)
+        if backend_supports_batch(self.backend):
+            return self._run_grid_batch(workloads, policies)
         if self.config.jobs == 1:
             for workload in workloads:
                 for policy in policies:
                     self.run_workload(workload, policy)
             return self.results
         return self._run_grid_parallel(workloads, policies)
+
+    # -- batch path ----------------------------------------------------
+
+    def _record_batch(self, policy: str, workloads: Sequence[Workload],
+                      ipcs, instructions: int, wall: float) -> None:
+        self.results.record_batch(policy, workloads, ipcs)
+        self.timing.simulations += len(workloads)
+        self.timing.instructions += instructions
+        self.timing.wall_seconds += wall
+
+    def _run_grid_batch(self, workloads: Sequence[Workload],
+                        policies: Sequence[str]) -> PopulationResults:
+        """One ``run_batch`` call (or ``jobs`` chunks) per policy.
+
+        Batch rows are independent, so per-policy panels concatenated
+        from pool chunks are bit-identical to a serial run.
+        """
+        pending: List[Tuple[str, List[Workload]]] = []
+        for policy in policies:
+            seen = set()
+            todo = []
+            for workload in workloads:
+                if workload in seen or self.results.has(policy, workload):
+                    continue
+                seen.add(workload)
+                todo.append(workload)
+            if todo:
+                pending.append((policy, todo))
+        if not pending:
+            return self.results
+        cells = sum(len(todo) for _, todo in pending)
+        workers = min(self.config.jobs, cells)
+        if workers <= 1:
+            for policy, todo in pending:
+                run = self._make_simulator(policy).run_batch(todo)
+                self._record_batch(policy, todo, run.ipcs,
+                                   run.instructions, run.wall_seconds)
+            return self.results
+        # Train (and, for builders that support it, calibrate) in the
+        # parent so forked workers inherit the expensive state.
+        if self.builder is not None:
+            benchmarks = sorted({name for _, todo in pending
+                                 for workload in todo for name in workload})
+            if hasattr(self.builder, "prepare"):
+                self.builder.prepare(benchmarks,
+                                     [policy for policy, _ in pending],
+                                     self.config.cores,
+                                     self.config.warmup_fraction)
+            elif hasattr(self.builder, "build"):
+                for benchmark in benchmarks:
+                    self.builder.build(benchmark)
+        tasks = []
+        for policy, todo in pending:
+            step = (len(todo) + workers - 1) // workers
+            for start in range(0, len(todo), step):
+                chunk = todo[start:start + step]
+                tasks.append((policy, tuple(w.key() for w in chunk)))
+        merged: Dict[Tuple[str, Tuple[str, ...]], Tuple] = {}
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=_worker_init,
+                initargs=(self.backend, self.config, self.builder)) as pool:
+            for policy, keys, ipcs, instructions, wall in pool.map(
+                    _worker_simulate_batch, tasks):
+                merged[(policy, keys)] = (ipcs, instructions, wall)
+        # Record chunks in task order, i.e. exactly the serial order.
+        for task in tasks:
+            policy, keys = task
+            ipcs, instructions, wall = merged[task]
+            chunk = [Workload.from_key(key) for key in keys]
+            self._record_batch(policy, chunk, ipcs, instructions, wall)
+        return self.results
+
+    # -- per-workload pool path ----------------------------------------
 
     def _run_grid_parallel(self, workloads: Sequence[Workload],
                            policies: Sequence[str]) -> PopulationResults:

@@ -107,13 +107,23 @@ class Session:
 
         One builder per (backend, trace length), so each benchmark's
         model is trained at most once per session (``None`` for
-        backends that need no builder, e.g. ``detailed``).
+        backends that need no builder, e.g. ``detailed``).  The
+        ``analytic`` builder wraps the session's ``badco`` builder, so
+        mixed-backend sessions (validation studies, ablations) share
+        one set of trained node models.
         """
         name = get_backend(backend or self.backend).name
         key = (name, self.parameters.trace_length)
         if key not in self._builders:
-            self._builders[key] = get_backend(name).make_builder(
-                self.parameters.trace_length, self.seed)
+            if name == "analytic":
+                from repro.sim.analytic import AnalyticModelBuilder
+
+                self._builders[key] = AnalyticModelBuilder(
+                    self.parameters.trace_length, self.seed,
+                    badco_builder=self.builder("badco"))
+            else:
+                self._builders[key] = get_backend(name).make_builder(
+                    self.parameters.trace_length, self.seed)
         return self._builders[key]
 
     def config(self, backend: Optional[str] = None,

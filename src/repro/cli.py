@@ -91,12 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
     experiment.add_argument("--jobs", type=int, default=1,
                             help="worker processes for campaigns (default 1)")
+    experiment.add_argument("--backend", default=None,
+                            help="approximate-simulation backend for drivers "
+                                 "that take one (e.g. `analytic`; built in: "
+                                 f"{', '.join(backend_names())})")
 
     bench = sub.add_parser(
-        "bench", help="time the analytics hot paths (scalar vs columnar)")
+        "bench", help="time the hot paths (analytics and simulation)")
     bench.add_argument("--profile", choices=("full", "smoke"), default="full",
                        help="full = the reference configuration "
                             "(4 cores, 1000 draws); smoke = CI-sized")
+    bench.add_argument("--suite", choices=("analytics", "sim", "all"),
+                       default="all",
+                       help="analytics = estimator/delta scalar-vs-columnar; "
+                            "sim = per-backend panel build (badco loop vs "
+                            "analytic batch) and MIPS")
     bench.add_argument("--draws", type=int, default=None,
                        help="Monte-Carlo draws (overrides the profile)")
     bench.add_argument("--sample-size", type=int, default=None,
@@ -184,20 +193,37 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.perf import DEFAULT_SAMPLE_SIZE, PROFILES, run_bench, \
-        speedups, write_bench
+        run_sim_bench, speedups, write_bench
 
-    profile = PROFILES[args.profile]
-    draws = args.draws if args.draws is not None else profile["draws"]
-    cores = args.cores if args.cores is not None else profile["cores"]
-    sample_size = (args.sample_size if args.sample_size is not None
-                   else DEFAULT_SAMPLE_SIZE)
-    max_population = profile["max_population"] or None
-    records = run_bench(draws=draws, sample_size=sample_size, cores=cores,
-                        max_population=max_population)
-    print(f"{'benchmark':>34}  {'seconds':>10}  {'draws':>6}  {'N':>8}")
+    overrides = [name for name, value in
+                 (("--draws", args.draws), ("--sample-size",
+                                            args.sample_size),
+                  ("--cores", args.cores)) if value is not None]
+    if args.suite == "sim" and overrides:
+        # The sim suite runs fixed SIM_PROFILES grids; silently
+        # ignoring these knobs would misreport what was benchmarked.
+        print(f"{', '.join(overrides)} only apply to the analytics "
+              f"suite, not --suite sim", file=sys.stderr)
+        return 2
+    records = []
+    if args.suite in ("analytics", "all"):
+        profile = PROFILES[args.profile]
+        draws = args.draws if args.draws is not None else profile["draws"]
+        cores = args.cores if args.cores is not None else profile["cores"]
+        sample_size = (args.sample_size if args.sample_size is not None
+                       else DEFAULT_SAMPLE_SIZE)
+        max_population = profile["max_population"] or None
+        records.extend(run_bench(draws=draws, sample_size=sample_size,
+                                 cores=cores,
+                                 max_population=max_population))
+    if args.suite in ("sim", "all"):
+        records.extend(run_sim_bench(profile=args.profile))
+    print(f"{'benchmark':>34}  {'seconds':>10}  {'draws':>6}  {'N':>8}  "
+          f"{'MIPS':>8}")
     for r in records:
+        mips = f"{r['mips']:8.2f}" if "mips" in r else f"{'-':>8}"
         print(f"{r['name']:>34}  {r['seconds']:10.4f}  "
-              f"{r['draws']:6d}  {r['population_size']:8d}")
+              f"{r['draws']:6d}  {r['population_size']:8d}  {mips}")
     for stem, ratio in speedups(records).items():
         print(f"speedup {stem}: {ratio:.1f}x")
     if args.output:
@@ -208,6 +234,7 @@ def _cmd_bench(args) -> int:
 
 def _cmd_experiment(args) -> int:
     import importlib
+    import inspect
 
     module = importlib.import_module(
         f"repro.experiments.{_EXPERIMENTS[args.name]}")
@@ -223,8 +250,24 @@ def _cmd_experiment(args) -> int:
         print(f"stratification extra fraction: "
               f"{result.stratification_extra_fraction:.2f}")
         return 0
+    kwargs = {}
+    if args.backend is not None:
+        try:
+            backend = get_backend(args.backend).name
+        except UnknownBackendError as error:
+            print(error, file=sys.stderr)
+            return 2
+        parameters = inspect.signature(module.run).parameters
+        for keyword in ("backend", "approx_backend"):
+            if keyword in parameters:
+                kwargs[keyword] = backend
+                break
+        else:
+            print(f"experiment {args.name!r} does not take a backend",
+                  file=sys.stderr)
+            return 2
     context = ExperimentContext(args.scale, jobs=args.jobs)
-    result = module.run(args.scale, context=context)
+    result = module.run(args.scale, context=context, **kwargs)
     for row in result.rows():
         print(row)
     return 0

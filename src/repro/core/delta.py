@@ -51,6 +51,10 @@ class DeltaStatistics:
     def inverse_cv(self) -> float:
         """1/cv = mu/sigma, the quantity plotted in Figs. 4 and 5."""
         if self.std == 0.0:
+            if self.mean == 0.0:
+                # d(w) identically zero: the machines are
+                # indistinguishable -- no sample size gives signal.
+                return 0.0
             return math.inf if self.mean > 0 else -math.inf
         return self.mean / self.std
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.columnar import WorkloadIndex
 from repro.core.confidence import confidence_from_cv
 from repro.core.delta import DeltaVariable, delta_statistics
@@ -71,10 +73,13 @@ def run(scale: Scale = Scale.MEDIUM,
         estimator = ConfidenceEstimator(population, delta,
                                         draws=context.parameters.draws)
         method = SimpleRandomSampling()
-        model = [confidence_from_cv(stats.cv, w) for w in sample_sizes]
-        measured = [estimator.confidence(method, w, seed=context.seed)
-                    for w in sample_sizes]
-        series[cores] = Fig3Series(cores, tuple(sample_sizes), model, measured)
+        # One vectorized call evaluates the whole model series (eq. 5).
+        model = np.asarray(
+            confidence_from_cv(stats.cv, np.asarray(sample_sizes))).tolist()
+        measured = estimator.curve(method, sample_sizes,
+                                   seed=context.seed).confidence
+        series[cores] = Fig3Series(cores, tuple(sample_sizes), model,
+                                   list(measured))
     return Fig3Result(pair=pair, metric=metric.name, series=series)
 
 

@@ -91,8 +91,8 @@ def run(scale: Scale = Scale.MEDIUM,
             methods.append(BalancedRandomSampling())
         methods.extend((BenchmarkStratification(classes), stratifier))
         curves[pair] = {
-            method.name: [estimator.confidence(method, w, seed=context.seed)
-                          for w in sample_sizes]
+            method.name: list(estimator.curve(method, sample_sizes,
+                                              seed=context.seed).confidence)
             for method in methods}
     return Fig6Result(metric=metric.name, cores=cores,
                       sample_sizes=tuple(sample_sizes), curves=curves,

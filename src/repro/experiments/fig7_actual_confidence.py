@@ -98,8 +98,8 @@ def run(scale: Scale = Scale.MEDIUM,
             stratifier,
         )
         curves[cores] = {
-            method.name: [estimator.confidence(method, w, seed=context.seed)
-                          for w in sample_sizes]
+            method.name: list(estimator.curve(method, sample_sizes,
+                                              seed=context.seed).confidence)
             for method in methods}
     return Fig7Result(pair=pair, metric=metric.name,
                       sample_sizes=tuple(sample_sizes), curves=curves)

@@ -1,17 +1,25 @@
-"""Performance harness for the analytics hot paths (``repro bench``).
+"""Performance harness for the hot paths (``repro bench``).
 
-Times the statistics stack -- the Monte-Carlo confidence estimator and
-the d(w) table construction -- on a fixed synthetic population, in both
-the legacy scalar and the columnar (NumPy) implementations, so every PR
-can compare against the recorded trajectory.
+Two suites, written to the same ``BENCH_analytics.json`` trajectory:
 
-Results serialise to ``BENCH_analytics.json`` as a list of records::
+- *analytics* (:func:`run_bench`) -- the statistics stack: Monte-Carlo
+  confidence estimation and d(w) construction, legacy scalar vs
+  columnar (NumPy) implementations, on a synthetic population;
+- *sim* (:func:`run_sim_bench`) -- the simulation layer: per-backend
+  panel-build time and MIPS for a (workloads x policies) grid, the
+  event-driven ``badco`` loop against the ``analytic`` batch path,
+  with model training and calibration costs recorded separately (they
+  are one-off and shared, the way Section VII-A charges them).
+
+Results serialise as a list of records::
 
     {"name": ..., "seconds": ..., "draws": ..., "population_size": ...}
 
-``draws`` is 0 for entries that are not Monte-Carlo loops (the delta
-builders).  The scalar/columnar pairing is by name suffix:
-``estimator-random-scalar`` vs ``estimator-random-columnar``.
+``draws`` is 0 for entries that are not Monte-Carlo loops.  Sim
+records add ``"backend"`` and, for simulator runs, ``"mips"``.  The
+scalar/columnar pairing is by name suffix (``estimator-random-scalar``
+vs ``estimator-random-columnar``); the sim panel pairing is
+``sim-panel-badco`` vs ``sim-panel-analytic``.
 """
 
 from __future__ import annotations
@@ -47,6 +55,19 @@ PROFILES: Dict[str, Dict[str, int]] = {
              "max_population": 0},
     "smoke": {"cores": 2, "draws": 200, "max_population": 0},
 }
+
+#: Sim-suite profiles: grid sizes for the panel-build comparison.
+#: ``benchmarks`` counts suite names (picked to span the three MPKI
+#: classes), ``sample`` caps the slow per-workload backends' slice.
+SIM_PROFILES: Dict[str, Dict[str, int]] = {
+    "full": {"cores": 2, "trace_length": 16000, "benchmarks": 10,
+             "max_population": 0, "sample": 4},
+    "smoke": {"cores": 2, "trace_length": 3000, "benchmarks": 6,
+              "max_population": 0, "sample": 2},
+}
+
+#: Policies exercised by the sim suite (one scan-resistant pair).
+SIM_POLICIES = ("LRU", "DIP")
 
 
 def _time(fn: Callable[[], object], repeat: int = 3) -> float:
@@ -135,8 +156,113 @@ def run_bench(draws: int = DEFAULT_DRAWS,
     return records
 
 
+def _pick_sim_benchmarks(count: int) -> List[str]:
+    """A class-balanced benchmark subset for the sim grid."""
+    from repro.bench.spec import SPEC_2006, MpkiClass
+
+    by_class = {cls: [s.name for s in SPEC_2006 if s.mpki_class is cls]
+                for cls in MpkiClass}
+    count = min(count, len(SPEC_2006))
+    picked: List[str] = []
+    position = 0
+    while len(picked) < count:
+        for cls in (MpkiClass.LOW, MpkiClass.MEDIUM, MpkiClass.HIGH):
+            names = by_class[cls]
+            if position < len(names) and len(picked) < count:
+                picked.append(names[position])
+        position += 1
+    return sorted(picked)
+
+
+def run_sim_bench(profile: str = "smoke",
+                  seed: int = 0) -> List[Dict[str, object]]:
+    """Time the simulation layer: event-driven loop vs analytic batch.
+
+    Builds the same (population x SIM_POLICIES) panel on the ``badco``
+    and ``analytic`` backends (training shared, calibration timed
+    separately) and measures single-workload MIPS for the ``detailed``
+    and ``interval`` backends on a small slice.
+
+    Returns:
+        Bench records; ``sim-panel-badco`` / ``sim-panel-analytic``
+        carry the headline panel-build seconds.
+    """
+    from repro.api import Campaign, CampaignConfig
+    from repro.sim.analytic import AnalyticModelBuilder
+
+    parameters = SIM_PROFILES[profile]
+    cores = parameters["cores"]
+    trace_length = parameters["trace_length"]
+    names = _pick_sim_benchmarks(parameters["benchmarks"])
+    population = WorkloadPopulation(
+        names, cores, max_size=parameters["max_population"] or None,
+        seed=seed)
+    workloads = list(population)
+    policies = list(SIM_POLICIES)
+
+    records: List[Dict[str, object]] = []
+
+    def record(name: str, backend: str, seconds: float,
+               mips: Optional[float] = None) -> None:
+        entry: Dict[str, object] = {
+            "name": name,
+            "seconds": seconds,
+            "draws": 0,
+            "population_size": len(population),
+            "backend": backend,
+        }
+        if mips is not None:
+            entry["mips"] = mips
+        records.append(entry)
+
+    # --- shared model training (both backends replay these models).
+    from repro.sim.badco.model import BadcoModelBuilder
+
+    badco_builder = BadcoModelBuilder(trace_length, seed)
+    start = time.perf_counter()
+    for name in names:
+        badco_builder.build(name)
+    record("sim-train-models", "badco", time.perf_counter() - start)
+
+    # --- the event-driven badco grid: one Python loop per workload.
+    config = CampaignConfig(backend="badco", cores=cores,
+                            trace_length=trace_length, seed=seed)
+    campaign = Campaign(config, builder=badco_builder)
+    start = time.perf_counter()
+    campaign.run_grid(workloads, policies)
+    record("sim-panel-badco", "badco", time.perf_counter() - start,
+           campaign.timing.mips)
+
+    # --- the analytic batch path: calibration, then one array call.
+    analytic_builder = AnalyticModelBuilder(trace_length, seed,
+                                            badco_builder=badco_builder)
+    start = time.perf_counter()
+    analytic_builder.prepare(names, policies, cores)
+    record("sim-calibrate-analytic", "analytic",
+           time.perf_counter() - start)
+    config = CampaignConfig(backend="analytic", cores=cores,
+                            trace_length=trace_length, seed=seed)
+    campaign = Campaign(config, builder=analytic_builder)
+    start = time.perf_counter()
+    campaign.run_grid(workloads, policies)
+    record("sim-panel-analytic", "analytic", time.perf_counter() - start,
+           campaign.timing.mips)
+
+    # --- single-workload MIPS of the per-workload backends.
+    sample = workloads[:parameters["sample"]]
+    for backend in ("detailed", "interval"):
+        config = CampaignConfig(backend=backend, cores=cores,
+                                trace_length=trace_length, seed=seed)
+        campaign = Campaign(config)
+        start = time.perf_counter()
+        campaign.run_grid(sample, policies[:1])
+        record(f"sim-workloads-{backend}", backend,
+               time.perf_counter() - start, campaign.timing.mips)
+    return records
+
+
 def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
-    """Scalar / columnar wall-clock ratio per benchmark pair."""
+    """Wall-clock ratios: scalar/columnar pairs plus the sim panel."""
     by_name = {str(r["name"]): float(r["seconds"]) for r in records}
     ratios: Dict[str, float] = {}
     for name, seconds in by_name.items():
@@ -146,6 +272,10 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
         columnar = by_name.get(stem + "-columnar")
         if columnar:
             ratios[stem] = seconds / columnar
+    loop = by_name.get("sim-panel-badco")
+    batch = by_name.get("sim-panel-analytic")
+    if loop and batch:
+        ratios["sim-panel"] = loop / batch
     return ratios
 
 

@@ -10,7 +10,11 @@ Zesto / BADCO pair:
   simulator: per-benchmark behavioural node models built from two
   detailed training runs, replayed against the real uncore;
 - :class:`~repro.sim.interval.IntervalSimulator` -- the cruder
-  one-training-run interval model.
+  one-training-run interval model;
+- :class:`~repro.sim.analytic.AnalyticSimulator` -- the array-evaluated
+  BADCO variant: flattened node models scored for whole workload
+  panels per NumPy call (``run_batch``), calibrated against standalone
+  BADCO runs.
 
 Campaigns -- (workload x policy) grids with on-disk memoisation,
 process-pool parallelism and wall-clock / MIPS accounting (Table III)
@@ -24,6 +28,11 @@ circular import with ``repro.api``).
 from repro.sim.detailed import DetailedSimulator, WorkloadRun
 from repro.sim.badco import BadcoModel, BadcoModelBuilder, BadcoSimulator
 from repro.sim.interval import IntervalProfileBuilder, IntervalSimulator
+from repro.sim.analytic import (
+    AnalyticModelBuilder,
+    AnalyticSimulator,
+    BatchRun,
+)
 from repro.sim.results import PopulationResults
 
 __all__ = [
@@ -34,6 +43,9 @@ __all__ = [
     "BadcoSimulator",
     "IntervalProfileBuilder",
     "IntervalSimulator",
+    "AnalyticModelBuilder",
+    "AnalyticSimulator",
+    "BatchRun",
     "PopulationResults",
     "SimulationCampaign",
     "CampaignTiming",

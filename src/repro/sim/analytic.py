@@ -1,0 +1,505 @@
+"""The analytic backend: array-evaluated BADCO, one NumPy call per panel.
+
+The BADCO machine already reduces a benchmark to per-node (intrinsic,
+sensitivity) pairs and closes the model by *measuring* each request's
+latency against an event-driven uncore.  This module takes the paper's
+idea one level further: collapse each benchmark's node model into a few
+scalars and close the uncore term *analytically*, so an entire
+N-workload x K-core IPC panel is a handful of NumPy array operations
+instead of N Python event loops.
+
+Per benchmark ``b`` the node model flattens to (policy-independent):
+
+- ``intrinsic[b]``   -- total core-limited cycles, sum of node d1;
+- ``sensitivity[b]`` -- sum of node sensitivities: cycles of stall per
+  cycle of average request latency beyond a hit;
+- ``requests[b]``    -- demand (blocking) reads issued per pass;
+- ``footprint[b]``   -- distinct cache lines touched.
+
+One cheap *calibration* run per (benchmark, policy) -- the benchmark's
+BADCO machine alone against the target uncore, the same run
+``reference_ipc`` already pays for -- anchors the model: it yields the
+standalone IPC, the standalone LLC demand miss ratio ``m0`` and the
+average extra latency a miss costs beyond a hit.  The shared-cache
+closure then scales miss ratios with co-runner pressure:
+
+- every thread's resident fraction shrinks from ``min(1, C/F_b)`` alone
+  to ``min(1, C/F_total)`` under proportional sharing of the C-line LLC,
+  so a fraction ``s`` of its standalone hits survive;
+- the front-side bus adds an M/M/1-style queueing term driven by the
+  workload's aggregate miss traffic.
+
+Predicted per-thread time is ``intrinsic + sensitivity * m * extra``
+with the workload-dependent miss ratio ``m`` and per-miss latency
+``extra``; IPC is reported relative to the calibrated standalone point,
+so a workload without contention reproduces the benchmark's reference
+IPC exactly.  Accuracy against the event-driven ``badco`` backend is
+bounded by ``tests/test_analytic.py``; the trade is the paper's own
+(Section IV): a cheaper model that preserves d(w) statistics well
+enough for confidence estimation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.generator import DEFAULT_TRACE_LENGTH
+from repro.core.workload import Workload
+from repro.mem.uncore import Uncore, UncoreConfig, uncore_config_for_cores
+from repro.sim.badco.machine import BadcoMachine
+from repro.sim.badco.model import BadcoModelBuilder
+from repro.sim.detailed import WorkloadRun, _MeasuredThread
+
+#: Bus utilisation is clipped below saturation so the queueing term
+#: stays finite; beyond this the linear-rate estimate is meaningless
+#: anyway.
+MAX_BUS_UTILISATION = 0.95
+
+#: The policy probe pair: a benchmark with a reusable LLC-resident
+#: region and a pure streamer.  How much of the reuser's standalone IPC
+#: a policy recovers when the two co-run measures the policy's scan
+#: resistance -- the trait that separates DIP/DRRIP from LRU in the
+#: paper's case study.
+PROBE_REUSER = "gcc"
+PROBE_STREAMER = "libquantum"
+
+
+@dataclass(frozen=True)
+class BenchmarkVector:
+    """One benchmark's node model flattened to scalars.
+
+    Attributes:
+        uops: uops per pass (the trace length).
+        intrinsic: total core-limited cycles per pass (sum of node d1).
+        sensitivity: summed node sensitivities -- the stall cycles per
+            cycle of average demand-request latency beyond a hit.
+        requests: demand (blocking) reads per pass.
+        footprint_lines: distinct cache lines touched (demand reads
+            plus replayed non-blocking traffic).
+    """
+
+    uops: int
+    intrinsic: float
+    sensitivity: float
+    requests: int
+    footprint_lines: int
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Standalone anchor of one (benchmark, policy, uncore) triple.
+
+    Attributes:
+        ipc: measured standalone IPC (bit-identical to the ``badco``
+            backend's ``reference_ipc`` for the same configuration).
+        cycles: local time of one full standalone pass.
+        miss_ratio: LLC demand miss ratio running alone.
+        extra_per_miss: average cycles a demand miss cost beyond the
+            LLC hit latency.
+    """
+
+    ipc: float
+    cycles: float
+    miss_ratio: float
+    extra_per_miss: float
+
+
+@dataclass
+class BatchRun:
+    """Outcome of simulating many workloads in one array operation.
+
+    The batch counterpart of :class:`~repro.sim.detailed.WorkloadRun`:
+    row ``i`` of :attr:`ipcs` is the per-core IPC vector of
+    ``workloads[i]`` (workload-sorted benchmark order, as everywhere).
+
+    Attributes:
+        workloads: the simulated workloads, in row order.
+        ipcs: the N x K float64 IPC panel.
+        instructions: modelled uops (one pass per thread; the analytic
+            model has no restarts), the basis of MIPS accounting.
+        wall_seconds: host wall-clock time of the batch evaluation.
+    """
+
+    workloads: Tuple[Workload, ...]
+    ipcs: np.ndarray
+    instructions: int
+    wall_seconds: float
+
+
+class AnalyticModelBuilder:
+    """Flattens BADCO node models and calibrates standalone anchors.
+
+    Wraps a :class:`~repro.sim.badco.model.BadcoModelBuilder` (shared
+    when given, so ``badco`` and ``analytic`` campaigns in one session
+    train each benchmark once) and memoises the flattened vectors and
+    the per-(benchmark, policy, uncore) calibration runs.
+
+    Args:
+        trace_length: uops per benchmark trace.
+        seed: trace seed (must match the campaign's seed).
+        badco_builder: an existing BADCO builder to share models with.
+    """
+
+    def __init__(self, trace_length: int = DEFAULT_TRACE_LENGTH,
+                 seed: int = 0,
+                 badco_builder: Optional[BadcoModelBuilder] = None) -> None:
+        self.trace_length = trace_length
+        self.seed = seed
+        self.badco = badco_builder or BadcoModelBuilder(trace_length, seed)
+        if self.badco.trace_length != trace_length:
+            raise ValueError("badco builder trace length does not match")
+        self._vectors: Dict[str, BenchmarkVector] = {}
+        self._calibrations: Dict[Tuple[str, str, int, int], Calibration] = {}
+        self._protections: Dict[Tuple[str, int, int], float] = {}
+        #: Wall-clock spent in standalone calibration runs (the analytic
+        #: backend's own training cost, reported by ``repro bench``).
+        self.calibration_seconds = 0.0
+        self.calibration_runs = 0
+
+    @property
+    def training_uops(self) -> int:
+        """Detailed-simulation uops spent training BADCO models."""
+        return self.badco.training_uops
+
+    def build(self, benchmark: str):
+        """Train (or fetch) the benchmark's BADCO model.
+
+        Same signature as the BADCO builder's, so the campaign engine's
+        pre-fork training hook works unchanged.
+        """
+        return self.badco.build(benchmark)
+
+    def vectors(self, benchmark: str) -> BenchmarkVector:
+        """The flattened node model of one benchmark (memoised)."""
+        vector = self._vectors.get(benchmark)
+        if vector is None:
+            model = self.badco.build(benchmark)
+            lines = set()
+            requests = 0
+            intrinsic = 0.0
+            sensitivity = 0.0
+            for node in model.nodes:
+                intrinsic += node.intrinsic
+                if node.read_address is not None:
+                    requests += 1
+                    sensitivity += node.sensitivity
+                    lines.add(node.read_address >> 6)
+                for address, _ in node.extra_requests:
+                    lines.add(address >> 6)
+            vector = BenchmarkVector(
+                uops=model.trace_length, intrinsic=intrinsic,
+                sensitivity=sensitivity, requests=requests,
+                footprint_lines=max(len(lines), 1))
+            self._vectors[benchmark] = vector
+        return vector
+
+    def calibrate(self, benchmark: str, uncore_config: UncoreConfig,
+                  warmup_fraction: float = 0.25) -> Calibration:
+        """Standalone anchor run of one benchmark (memoised).
+
+        Replays the benchmark's BADCO machine alone against a fresh
+        uncore -- exactly the run the ``badco`` backend's
+        ``reference_ipc`` performs -- while also counting LLC misses
+        and demand latencies.
+        """
+        key = (benchmark, uncore_config.policy, uncore_config.llc_size,
+               uncore_config.llc_latency)
+        calibration = self._calibrations.get(key)
+        if calibration is not None:
+            return calibration
+        started = time.perf_counter()
+        model = self.badco.build(benchmark)
+        uncore = Uncore(uncore_config, seed=self.seed)
+        latency_total = 0.0
+        demand_reads = 0
+
+        def access(address: int, now: int, is_write: bool, pc: int,
+                   is_prefetch: bool = False) -> int:
+            nonlocal latency_total, demand_reads
+            done = uncore.access(0, address, now, is_write, pc, is_prefetch)
+            if not is_write and not is_prefetch:
+                latency_total += done - now
+                demand_reads += 1
+            return done
+
+        machine = BadcoMachine(0, model, access)
+        warmup = int(self.trace_length * warmup_fraction)
+        meter = _MeasuredThread(warmup, self.trace_length)
+        while not meter.finished:
+            if machine.done:
+                machine.restart()
+            machine.advance()
+            meter.observe(machine.executed, machine.local_time)
+        stats = uncore.llc.stats
+        accesses = max(stats.demand_accesses, 1)
+        misses = stats.demand_misses
+        miss_ratio = misses / accesses
+        hit_latency = uncore_config.llc_latency
+        if misses > 0:
+            extra = max((latency_total - demand_reads * hit_latency) / misses,
+                        1.0)
+        else:
+            # No misses observed: fall back to the raw memory round trip.
+            extra = float(uncore_config.memory.dram_latency
+                          + uncore_config.memory.transfer_cycles)
+        calibration = Calibration(
+            ipc=meter.ipc(), cycles=machine.local_time,
+            miss_ratio=miss_ratio, extra_per_miss=extra)
+        self._calibrations[key] = calibration
+        self.calibration_seconds += time.perf_counter() - started
+        self.calibration_runs += 1
+        return calibration
+
+    def _probe_pair_ipc(self, uncore_config: UncoreConfig,
+                        warmup_fraction: float) -> float:
+        """Reuser IPC of the probe pair under one policy's uncore."""
+        from repro.sim.badco.multicore import BadcoSimulator
+
+        simulator = BadcoSimulator(
+            cores=2, policy=uncore_config.policy, builder=self.badco,
+            trace_length=self.trace_length,
+            warmup_fraction=warmup_fraction, seed=self.seed,
+            uncore_config=uncore_config)
+        run = simulator.run(Workload([PROBE_REUSER, PROBE_STREAMER]))
+        # Workloads canonicalise sorted, so the reuser ("gcc") is core 0.
+        return run.ipcs[0]
+
+    def protection(self, uncore_config: UncoreConfig,
+                   warmup_fraction: float = 0.25) -> float:
+        """The policy's scan resistance on this uncore, in [0, 1].
+
+        0 means the policy protects a co-running reuse region no better
+        than LRU; 1 means the reuser keeps its full standalone IPC next
+        to a streamer.  Measured once per (policy, LLC) with two probe
+        runs (memoised; LRU is 0 by definition and pays one).
+        """
+        key = (uncore_config.policy, uncore_config.llc_size,
+               uncore_config.llc_latency)
+        value = self._protections.get(key)
+        if value is not None:
+            return value
+        started = time.perf_counter()
+        if uncore_config.policy == "LRU":
+            value = 0.0
+        else:
+            baseline_config = uncore_config.with_policy("LRU")
+            baseline = self._probe_pair_ipc(baseline_config, warmup_fraction)
+            paired = self._probe_pair_ipc(uncore_config, warmup_fraction)
+            alone = self.calibrate(PROBE_REUSER, uncore_config,
+                                   warmup_fraction).ipc
+            headroom = alone - baseline
+            if headroom <= 1e-12:
+                value = 0.0
+            else:
+                value = min(max((paired - baseline) / headroom, 0.0), 1.0)
+        self._protections[key] = value
+        self.calibration_seconds += time.perf_counter() - started
+        self.calibration_runs += 1
+        return value
+
+    def prepare(self, benchmarks: Sequence[str], policies: Sequence[str],
+                cores: int, warmup_fraction: float = 0.25) -> None:
+        """Train and calibrate everything a grid will need.
+
+        The campaign engine calls this before forking workers, so the
+        pool inherits trained models and calibrations instead of
+        re-deriving them per process.
+        """
+        for policy in policies:
+            config = uncore_config_for_cores(cores, policy)
+            if cores > 1:
+                self.protection(config, warmup_fraction)
+            for benchmark in benchmarks:
+                self.vectors(benchmark)
+                self.calibrate(benchmark, config, warmup_fraction)
+
+    def __repr__(self) -> str:
+        return (f"AnalyticModelBuilder(length={self.trace_length}, "
+                f"vectors={len(self._vectors)}, "
+                f"calibrations={len(self._calibrations)})")
+
+
+class AnalyticSimulator:
+    """Scores whole workload panels with the flattened BADCO model.
+
+    Offers the same ``run`` / ``reference_ipc`` contract as the
+    event-driven simulators plus the batch entry point ``run_batch``;
+    ``run`` is a one-row batch, so the loop and batch paths are
+    bit-identical by construction.
+
+    Args:
+        cores: number of cores K.
+        policy: LLC replacement policy name.
+        builder: the shared :class:`AnalyticModelBuilder`.
+        trace_length / warmup_fraction / seed: as in
+            :class:`repro.sim.detailed.DetailedSimulator`.
+    """
+
+    name = "analytic"
+
+    def __init__(self, cores: int, policy: str = "LRU",
+                 builder: Optional[AnalyticModelBuilder] = None,
+                 trace_length: int = DEFAULT_TRACE_LENGTH,
+                 warmup_fraction: float = 0.25, seed: int = 0,
+                 uncore_config: Optional[UncoreConfig] = None) -> None:
+        self.cores = cores
+        self.policy = policy
+        self.trace_length = trace_length
+        self.warmup_fraction = warmup_fraction
+        self.seed = seed
+        self.builder = builder or AnalyticModelBuilder(trace_length, seed)
+        if self.builder.trace_length != trace_length:
+            raise ValueError("builder trace length does not match simulator")
+        self.uncore_config = (uncore_config
+                              or uncore_config_for_cores(cores, policy))
+        if uncore_config is not None and uncore_config.policy != policy:
+            self.uncore_config = uncore_config.with_policy(policy)
+
+    # ------------------------------------------------------------------
+
+    def _gather(self, benchmarks: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Per-benchmark model vectors, calibrated, as aligned arrays."""
+        vectors = [self.builder.vectors(b) for b in benchmarks]
+        calibrations = [
+            self.builder.calibrate(b, self.uncore_config,
+                                   self.warmup_fraction)
+            for b in benchmarks]
+        def as_array(values) -> np.ndarray:
+            return np.array(values, dtype=np.float64)
+
+        return {
+            "uops": as_array([v.uops for v in vectors]),
+            "intrinsic": as_array([v.intrinsic for v in vectors]),
+            "sensitivity": as_array([v.sensitivity for v in vectors]),
+            "requests": as_array([v.requests for v in vectors]),
+            "footprint": as_array([v.footprint_lines for v in vectors]),
+            "alone_ipc": as_array([c.ipc for c in calibrations]),
+            "alone_cycles": as_array([c.cycles for c in calibrations]),
+            "miss_ratio": as_array([c.miss_ratio for c in calibrations]),
+            "extra": as_array([c.extra_per_miss for c in calibrations]),
+        }
+
+    def run_batch(self, workloads: Sequence[Workload]) -> BatchRun:
+        """Score every workload in one set of array operations.
+
+        Rows are independent: the IPCs of a workload do not depend on
+        which other workloads share the batch, so any chunking of a
+        grid (serial, per-policy, or across worker processes) produces
+        bit-identical panels.
+        """
+        workloads = tuple(workloads)
+        if not workloads:
+            return BatchRun((), np.empty((0, self.cores)), 0, 0.0)
+        for workload in workloads:
+            if workload.k != self.cores:
+                raise ValueError(
+                    f"workload has {workload.k} threads, machine has "
+                    f"{self.cores} cores")
+        benchmarks = sorted({b for w in workloads for b in w})
+        # Train/calibrate before the clock starts: those one-off costs
+        # are accounted in the builder (calibration_seconds), so
+        # BatchRun.wall_seconds measures only the array evaluation.
+        vectors = self._gather(benchmarks)
+        if self.cores > 1:
+            self.builder.protection(self.uncore_config,
+                                    self.warmup_fraction)
+        started = time.perf_counter()
+        code = {name: i for i, name in enumerate(benchmarks)}
+        codes = np.fromiter(
+            (code[b] for w in workloads for b in w),
+            dtype=np.int64, count=len(workloads) * self.cores,
+        ).reshape(len(workloads), self.cores)
+        ipcs = self._evaluate(vectors, codes)
+        instructions = len(workloads) * self.cores * self.trace_length
+        return BatchRun(workloads, ipcs, instructions,
+                        time.perf_counter() - started)
+
+    def _evaluate(self, vec: Dict[str, np.ndarray],
+                  codes: np.ndarray) -> np.ndarray:
+        """The model itself: N x K IPCs from gathered benchmark vectors."""
+        config = self.uncore_config
+        llc_lines = config.llc_size / config.memory.line_bytes
+
+        footprint = vec["footprint"][codes]                      # N x K
+        # Each co-runner pressures the shared LLC with its footprint,
+        # discounted by the policy's measured scan resistance times how
+        # streaming the co-runner is (its standalone miss ratio): a
+        # scan-resistant policy keeps a streamer from flushing its
+        # neighbours, which is exactly the DIP/DRRIP-vs-LRU effect the
+        # replacement case study turns on.
+        if codes.shape[1] > 1:
+            protection = self.builder.protection(self.uncore_config,
+                                                 self.warmup_fraction)
+        else:
+            protection = 0.0
+        per_bench_pressure = (vec["footprint"]
+                              * (1.0 - protection * vec["miss_ratio"]))
+        pressure = per_bench_pressure[codes]                     # N x K
+        # Pressure felt by thread b: its own full footprint plus the
+        # discounted footprints of everyone else.
+        felt = pressure.sum(axis=1)[:, None] - pressure + footprint
+        # Fraction of each thread's lines resident alone vs shared: the
+        # LLC splits proportionally to pressure (residency C/F_felt),
+        # but reuse keeps every thread at least its equal share C/K --
+        # so a tiny hot set co-running with a streaming thread is not
+        # evicted wholesale, while same-size thrashers split the cache.
+        alone_resident = np.minimum(1.0, llc_lines / vec["footprint"])
+        shared_resident = np.minimum(1.0, np.maximum(
+            llc_lines / np.maximum(felt, 1.0),
+            llc_lines / (codes.shape[1] * footprint)))
+        survival = np.minimum(
+            1.0, shared_resident / alone_resident[codes])
+        # A standalone hit survives sharing with probability `survival`.
+        miss_ratio = 1.0 - (1.0 - vec["miss_ratio"][codes]) * survival
+
+        # Bus queueing: co-runner miss traffic (misses per cycle, using
+        # standalone pass times as the rate basis) occupies the FSB for
+        # `transfer` cycles per line; an M/M/1-style term adds the
+        # expected wait to every miss.  Each thread sees only the
+        # *others'* traffic -- its own queueing is already inside the
+        # calibrated extra_per_miss, which keeps a solo thread exactly
+        # at its reference IPC.
+        transfer = float(config.memory.transfer_cycles)
+        rates = (vec["requests"][codes] * miss_ratio
+                 / vec["alone_cycles"][codes])
+        others = rates.sum(axis=1)[:, None] - rates
+        utilisation = np.minimum(others * transfer, MAX_BUS_UTILISATION)
+        queue_wait = transfer * utilisation / (1.0 - utilisation)
+        extra = vec["extra"][codes] + queue_wait
+
+        # Per-pass time, alone and shared, from the same expression; the
+        # measured standalone IPC anchors the absolute level, so only
+        # the contention *ratio* is analytic.
+        sensitivity = vec["sensitivity"][codes]
+        intrinsic = vec["intrinsic"][codes]
+        alone_time = (intrinsic + sensitivity
+                      * vec["miss_ratio"][codes] * vec["extra"][codes])
+        shared_time = intrinsic + sensitivity * miss_ratio * extra
+        return vec["alone_ipc"][codes] * (alone_time
+                                          / np.maximum(shared_time, 1.0))
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: Workload) -> WorkloadRun:
+        """Score one workload (a one-row batch)."""
+        batch = self.run_batch([workload])
+        return WorkloadRun(workload, batch.ipcs[0].tolist(),
+                           batch.instructions, batch.wall_seconds)
+
+    def reference_ipc(self, benchmark: str) -> float:
+        """Standalone IPC from the calibration run.
+
+        Bit-identical to the ``badco`` backend's ``reference_ipc`` for
+        the same configuration: the calibration replays the same
+        machine against the same uncore with the same metering.
+        """
+        return self.builder.calibrate(
+            benchmark, self.uncore_config, self.warmup_fraction).ipc
+
+    def __repr__(self) -> str:
+        return (f"AnalyticSimulator(cores={self.cores}, "
+                f"policy={self.policy!r}, length={self.trace_length})")

@@ -1,21 +1,45 @@
-"""Per-(policy, workload) IPC storage.
+"""Per-(policy, workload) IPC storage, mapping- and column-oriented.
 
 A :class:`PopulationResults` holds everything the statistics layer
 needs about one simulation campaign: per-core IPCs for every workload
 under every policy, plus single-thread reference IPCs for the speedup
-metrics.  It serialises to JSON so expensive populations are paid for
-once.
+metrics.
+
+Two write paths feed it:
+
+- :meth:`PopulationResults.record` -- one workload at a time, the
+  event-driven simulators' path (a ``Mapping[Workload, List[float]]``
+  per policy);
+- :meth:`PopulationResults.record_batch` -- whole N x K panels from
+  batch-capable backends.  Batches are kept *columnar* (workload tuple
+  + float64 matrix blocks); :meth:`columnar_panel` serves them straight
+  to :class:`~repro.core.columnar.IpcMatrix` consumers without ever
+  building the per-workload dict, which is what makes 10^6-workload
+  panels practical.  Legacy dict reads (:meth:`ipc_table`,
+  :meth:`to_json`) materialise the blocks on first use.
+
+Persistence is dual: JSON (:meth:`save`/:meth:`load`, the readable
+interchange format) and NumPy ``.npz`` (:meth:`save_npz`/
+:meth:`load_npz`, written next to the JSON cache), which loads panels
+as matrices directly -- skipping both JSON parsing and the mapping
+rebuild.  The two round-trip identically: float64 survives JSON via
+shortest-repr and npz via raw bytes.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.workload import Workload
 
 IpcVector = List[float]
+
+#: One streamed batch: row-ordered workloads plus their N x K IPCs.
+_Block = Tuple[Tuple[Workload, ...], np.ndarray]
 
 
 class PopulationResults:
@@ -23,14 +47,17 @@ class PopulationResults:
 
     Args:
         cores: number of cores K.
-        simulator: label of the producing simulator ("detailed" or
-            "badco"), recorded for provenance.
+        simulator: label of the producing simulator ("detailed",
+            "badco", ...), recorded for provenance.
     """
 
     def __init__(self, cores: int, simulator: str) -> None:
         self.cores = cores
         self.simulator = simulator
         self._ipcs: Dict[str, Dict[Workload, IpcVector]] = {}
+        self._blocks: Dict[str, List[_Block]] = {}
+        #: Per policy: workload -> (block number, row) for streamed data.
+        self._block_rows: Dict[str, Dict[Workload, Tuple[int, int]]] = {}
         self.reference: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -41,7 +68,42 @@ class PopulationResults:
         if len(ipcs) != workload.k:
             raise ValueError(
                 f"{workload}: expected {workload.k} IPCs, got {len(ipcs)}")
+        if workload in self._block_rows.get(policy, ()):
+            # Overwriting a streamed row: fold the blocks into the dict
+            # first so last-write-wins holds (a later _materialize must
+            # not revert this record to the stale block value).
+            self._materialize(policy)
         self._ipcs.setdefault(policy, {})[workload] = list(ipcs)
+
+    def record_batch(self, policy: str, workloads: Sequence[Workload],
+                     ipcs: np.ndarray) -> None:
+        """Stream one batch panel in, without a per-workload round trip.
+
+        Args:
+            policy: the policy the panel was simulated under.
+            workloads: row order of the panel.
+            ipcs: the len(workloads) x K IPC matrix.
+        """
+        workloads = tuple(workloads)
+        ipcs = np.asarray(ipcs, dtype=np.float64)
+        if ipcs.shape != (len(workloads), self.cores):
+            raise ValueError(
+                f"expected a {len(workloads)} x {self.cores} panel, "
+                f"got {ipcs.shape}")
+        rows = self._block_rows.setdefault(policy, {})
+        table = self._ipcs.get(policy, {})
+        for workload in workloads:
+            if workload.k != self.cores:
+                raise ValueError(
+                    f"{workload}: occupies {workload.k} cores, "
+                    f"expected {self.cores}")
+            if workload in rows or workload in table:
+                raise ValueError(f"{policy}: {workload} already recorded")
+        blocks = self._blocks.setdefault(policy, [])
+        block_number = len(blocks)
+        blocks.append((workloads, ipcs))
+        for row, workload in enumerate(workloads):
+            rows[workload] = (block_number, row)
 
     def record_reference(self, benchmark: str, ipc: float) -> None:
         self.reference[benchmark] = ipc
@@ -49,30 +111,94 @@ class PopulationResults:
     # ------------------------------------------------------------------
     # Reading
 
+    def _materialize(self, policy: str) -> Dict[Workload, IpcVector]:
+        """Fold a policy's streamed blocks into the legacy dict view."""
+        blocks = self._blocks.pop(policy, None)
+        table = self._ipcs.setdefault(policy, {})
+        if blocks:
+            for workloads, matrix in blocks:
+                values = matrix.tolist()
+                for workload, row in zip(workloads, values):
+                    table[workload] = row
+            self._block_rows.pop(policy, None)
+        return table
+
     @property
     def policies(self) -> List[str]:
-        return sorted(self._ipcs)
+        return sorted(set(self._ipcs) | set(self._blocks))
+
+    def _keys(self, policy: str) -> set:
+        keys = set(self._ipcs.get(policy, ()))
+        keys.update(self._block_rows.get(policy, ()))
+        return keys
 
     def workloads(self, policy: str) -> List[Workload]:
-        return sorted(self._ipcs[policy])
+        if policy not in self._ipcs and policy not in self._blocks:
+            raise KeyError(policy)
+        return sorted(self._keys(policy))
 
     def common_workloads(self) -> List[Workload]:
         """Workloads simulated under *every* recorded policy."""
-        sets = [set(table) for table in self._ipcs.values()]
+        sets = [self._keys(policy) for policy in self.policies]
         if not sets:
             return []
         common = set.intersection(*sets)
         return sorted(common)
 
     def ipcs(self, policy: str, workload: Workload) -> IpcVector:
-        return self._ipcs[policy][workload]
+        table = self._ipcs.get(policy)
+        if table is not None and workload in table:
+            return table[workload]
+        entry = self._block_rows.get(policy, {}).get(workload)
+        if entry is None:
+            if policy not in self._ipcs and policy not in self._blocks:
+                raise KeyError(policy)
+            raise KeyError(workload)
+        block, row = entry
+        return self._blocks[policy][block][1][row].tolist()
 
     def ipc_table(self, policy: str) -> Mapping[Workload, IpcVector]:
-        """The full per-workload IPC table of one policy."""
-        return self._ipcs[policy]
+        """The full per-workload IPC table of one policy.
+
+        Materialises streamed batches into the dict view; array
+        consumers should prefer :meth:`columnar_panel`, which serves
+        batch blocks without this conversion.
+        """
+        if policy not in self._ipcs and policy not in self._blocks:
+            raise KeyError(policy)
+        return self._materialize(policy)
 
     def has(self, policy: str, workload: Workload) -> bool:
-        return policy in self._ipcs and workload in self._ipcs[policy]
+        return (workload in self._ipcs.get(policy, ())
+                or workload in self._block_rows.get(policy, ()))
+
+    def _policy_matrix(self, policy: str, index) -> Optional[np.ndarray]:
+        """The policy's panel aligned to ``index`` rows, block-only.
+
+        Returns None when the policy has per-workload dict entries
+        (mixed or legacy storage) -- the caller then takes the
+        validating mapping path.
+        """
+        if self._ipcs.get(policy) or policy not in self._blocks:
+            return None
+        rows = self._block_rows[policy]
+        missing = sum(1 for w in index.workloads if w not in rows)
+        if missing:
+            raise ValueError(
+                f"{policy}: {missing} workloads lack IPCs")
+        blocks = self._blocks[policy]
+        if len(blocks) == 1 and blocks[0][0] == index.workloads:
+            return blocks[0][1]          # the common case: zero copies
+        stacked = np.concatenate([matrix for _, matrix in blocks], axis=0)
+        offsets: Dict[Workload, int] = {}
+        position = 0
+        for workloads, matrix in blocks:
+            for row, workload in enumerate(workloads):
+                offsets[workload] = position + row
+            position += matrix.shape[0]
+        take = np.fromiter((offsets[w] for w in index.workloads),
+                           dtype=np.int64, count=len(index.workloads))
+        return stacked[take]
 
     def columnar_panel(self, policies: Optional[Sequence[str]] = None,
                        workloads: Optional[Sequence[Workload]] = None):
@@ -80,7 +206,9 @@ class PopulationResults:
 
         One validated conversion feeding every downstream array
         computation (deltas, studies, estimators), instead of each
-        consumer re-walking the mapping tables.
+        consumer re-walking the mapping tables.  Policies recorded via
+        :meth:`record_batch` skip the mapping entirely: their blocks
+        are served as matrices directly.
 
         Args:
             policies: policies to include (default: all recorded).
@@ -96,18 +224,38 @@ class PopulationResults:
 
         chosen = list(policies) if policies is not None else self.policies
         if workloads is None:
-            tables = [set(self._ipcs[p]) for p in chosen]
+            tables = [self._keys(p) for p in chosen]
             workloads = sorted(set.intersection(*tables)) if tables else []
         index = WorkloadIndex(tuple(workloads))
-        matrices = {p: IpcMatrix.from_table(index, self._ipcs[p], label=p)
-                    for p in chosen}
+        matrices = {}
+        for policy in chosen:
+            panel = self._policy_matrix(policy, index)
+            if panel is not None:
+                matrices[policy] = IpcMatrix(index, panel)
+            else:
+                matrices[policy] = IpcMatrix.from_table(
+                    index, self.ipc_table(policy), label=policy)
         return index, matrices
 
     def __len__(self) -> int:
-        return sum(len(t) for t in self._ipcs.values())
+        return (sum(len(t) for t in self._ipcs.values())
+                + sum(len(r) for r in self._block_rows.values()))
 
     # ------------------------------------------------------------------
     # Persistence
+
+    def _iter_rows(self, policy: str):
+        """(workload, ipcs-list) pairs, dict entries then block rows.
+
+        Same order :meth:`_materialize` would produce, but without
+        collapsing the blocks -- serialisation must not destroy the
+        columnar fast path.
+        """
+        table = self._ipcs.get(policy)
+        if table:
+            yield from table.items()
+        for workloads, matrix in self._blocks.get(policy, ()):
+            yield from zip(workloads, matrix.tolist())
 
     def to_json(self) -> str:
         payload = {
@@ -115,8 +263,8 @@ class PopulationResults:
             "simulator": self.simulator,
             "reference": self.reference,
             "ipcs": {
-                policy: {w.key(): v for w, v in table.items()}
-                for policy, table in self._ipcs.items()
+                policy: {w.key(): v for w, v in self._iter_rows(policy)}
+                for policy in self.policies
             },
         }
         return json.dumps(payload)
@@ -137,6 +285,62 @@ class PopulationResults:
     @staticmethod
     def load(path: Path) -> "PopulationResults":
         return PopulationResults.from_json(Path(path).read_text())
+
+    def save_npz(self, path: Path) -> None:
+        """Persist as compressed NumPy arrays (the fast cache format).
+
+        Per policy: one workload-key string array plus the matching
+        N x K float64 panel.  Loads reconstruct via
+        :meth:`record_batch`, so a reloaded population keeps the
+        columnar fast path -- no mapping rebuild.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "cores": np.array(self.cores, dtype=np.int64),
+            "simulator": np.array(self.simulator),
+            "reference_names": np.array(sorted(self.reference), dtype=str),
+            "reference_values": np.array(
+                [self.reference[b] for b in sorted(self.reference)],
+                dtype=np.float64),
+            "policy_names": np.array(self.policies, dtype=str),
+        }
+        for number, policy in enumerate(self.policies):
+            if policy in self._blocks and not self._ipcs.get(policy):
+                blocks = self._blocks[policy]
+                keys = [w.key() for workloads, _ in blocks
+                        for w in workloads]
+                panel = (blocks[0][1] if len(blocks) == 1 else
+                         np.concatenate([m for _, m in blocks], axis=0))
+            else:
+                # Mixed or dict-only storage: emit rows in the same
+                # order to_json does, so a reloaded population
+                # serialises byte-identically to this one (the
+                # engine's jobs/cache bit-identity contract).
+                rows = list(self._iter_rows(policy))
+                keys = [w.key() for w, _ in rows]
+                panel = np.array([v for _, v in rows],
+                                 dtype=np.float64)
+                panel = panel.reshape(len(rows), self.cores)
+            arrays[f"workloads_{number}"] = np.array(keys, dtype=str)
+            arrays[f"ipcs_{number}"] = panel
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+    @staticmethod
+    def load_npz(path: Path) -> "PopulationResults":
+        """Inverse of :meth:`save_npz`; panels stay columnar."""
+        with np.load(path, allow_pickle=False) as data:
+            results = PopulationResults(int(data["cores"]),
+                                        str(data["simulator"]))
+            names = data["reference_names"]
+            values = data["reference_values"]
+            for name, value in zip(names.tolist(), values.tolist()):
+                results.reference[str(name)] = value
+            for number, policy in enumerate(data["policy_names"].tolist()):
+                keys = data[f"workloads_{number}"].tolist()
+                panel = data[f"ipcs_{number}"]
+                workloads = [Workload.from_key(str(k)) for k in keys]
+                results.record_batch(str(policy), workloads, panel)
+        return results
 
     def __repr__(self) -> str:
         return (f"PopulationResults(cores={self.cores}, "

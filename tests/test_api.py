@@ -30,15 +30,26 @@ API_BENCHMARKS = ["povray", "hmmer", "gcc", "mcf"]
 
 
 def test_builtin_backends_registered():
-    assert backend_names() == ("badco", "detailed", "interval")
+    assert backend_names() == ("analytic", "badco", "detailed", "interval")
     assert get_backend("detailed").name == "detailed"
     assert get_backend("badco").name == "badco"
     assert get_backend("interval").name == "interval"
+    assert get_backend("analytic").name == "analytic"
+
+
+def test_batch_capability_flags():
+    from repro.api import backend_supports_batch
+
+    assert backend_supports_batch(get_backend("analytic"))
+    for name in ("detailed", "badco", "interval"):
+        assert not backend_supports_batch(get_backend(name))
 
 
 def test_backends_construct_their_simulator_family():
+    from repro.sim.analytic import AnalyticSimulator
+
     classes = {"detailed": DetailedSimulator, "badco": BadcoSimulator,
-               "interval": IntervalSimulator}
+               "interval": IntervalSimulator, "analytic": AnalyticSimulator}
     for name, cls in classes.items():
         simulator = get_backend(name).make_simulator(
             2, "LRU", TEST_TRACE_LENGTH, 0.25, 0)

@@ -68,3 +68,52 @@ def test_invalid_sample_size():
 
 def test_cv_zero_means_certain():
     assert confidence_from_cv(0.0, 1) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Array-aware model evaluation
+
+
+def test_confidence_from_cv_array_matches_scalar():
+    import numpy as np
+
+    sizes = np.array([1, 2, 10, 30, 100, 640])
+    for cv in (-2.5, -0.3, 0.7, 4.0):
+        expected = [confidence_from_cv(cv, int(w)) for w in sizes]
+        result = confidence_from_cv(cv, sizes)
+        assert isinstance(result, np.ndarray)
+        assert result.tolist() == expected      # bit-identical per element
+
+
+def test_confidence_from_cv_cv_array():
+    import numpy as np
+
+    cvs = np.array([0.0, math.inf, -math.inf, 1.0, -1.0])
+    result = confidence_from_cv(cvs, 30)
+    expected = [confidence_from_cv(float(cv), 30) for cv in cvs]
+    assert result.tolist() == expected
+    assert result[0] == 1.0 and result[1] == 0.5 and result[2] == 0.5
+
+
+def test_confidence_from_cv_broadcasts():
+    import numpy as np
+
+    cvs = np.array([[1.0], [2.0]])
+    sizes = np.array([10, 40, 160])
+    result = confidence_from_cv(cvs, sizes)
+    assert result.shape == (2, 3)
+    assert result[1][2] == confidence_from_cv(2.0, 160)
+
+
+def test_confidence_from_cv_array_rejects_bad_sizes():
+    import numpy as np
+
+    with pytest.raises(ValueError):
+        confidence_from_cv(1.0, np.array([10, 0]))
+
+
+def test_model_curve_matches_scalar_loop():
+    points = [-3.0, -0.5, 0.0, 0.25, 1.0, 2.0]
+    curve = confidence_model_curve(points)
+    for x, confidence in curve:
+        assert confidence == 0.5 * (1.0 + math.erf(x))

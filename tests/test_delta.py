@@ -74,3 +74,14 @@ def test_cv_infinite_when_mean_zero():
 def test_empty_values_rejected():
     with pytest.raises(ValueError):
         delta_statistics([])
+
+
+def test_indistinguishable_machines_have_no_signal():
+    """d(w) identically zero: cv is infinite and 1/cv is exactly 0.
+
+    The analytic backend produces this for policy pairs whose models
+    coincide; the statistics must say "no signal", not fake certainty.
+    """
+    stats = delta_statistics([0.0, 0.0, 0.0])
+    assert stats.cv == math.inf
+    assert stats.inverse_cv == 0.0

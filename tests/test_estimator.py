@@ -68,3 +68,41 @@ def test_reproducible_for_fixed_seed(small_population):
     a = estimator.confidence(SimpleRandomSampling(), 6, seed=11)
     b = estimator.confidence(SimpleRandomSampling(), 6, seed=11)
     assert a == b
+
+
+def test_curve_bit_identical_to_per_point(small_population):
+    """The batched curve must equal per-size confidence() exactly."""
+    from repro.core.sampling import WorkloadStratification
+
+    delta = _delta(small_population, offset=0.2)
+    estimator = ConfidenceEstimator(small_population, delta, draws=300)
+    sizes = (2, 5, 10, 15)
+    for method in (SimpleRandomSampling(),
+                   WorkloadStratification(delta, min_stratum=5)):
+        curve = estimator.curve(method, sizes, seed=3)
+        per_point = [estimator.confidence(method, size, seed=3)
+                     for size in sizes]
+        assert list(curve.confidence) == per_point
+
+
+def test_curve_falls_back_without_plan(small_population):
+    """Methods with only a sample() still get a correct curve."""
+
+    class SampleOnly(SimpleRandomSampling):
+        def plan(self, index, population):
+            return None
+
+    delta = _delta(small_population, offset=0.2)
+    estimator = ConfidenceEstimator(small_population, delta, draws=200)
+    method = SampleOnly()
+    curve = estimator.curve(method, (3, 6), seed=1)
+    expected = [estimator.confidence(method, size, seed=1)
+                for size in (3, 6)]
+    assert list(curve.confidence) == expected
+
+
+def test_curve_empty_sizes(small_population):
+    delta = _delta(small_population, offset=0.2)
+    estimator = ConfidenceEstimator(small_population, delta, draws=50)
+    curve = estimator.curve(SimpleRandomSampling(), ())
+    assert curve.sample_sizes == () and curve.confidence == ()

@@ -1,11 +1,13 @@
-"""The analytics perf harness and its CLI subcommand."""
+"""The analytics / sim perf harness and its CLI subcommand."""
 
 import json
 
 from repro.cli import main
-from repro.perf import run_bench, speedups, write_bench
+from repro.perf import run_bench, run_sim_bench, speedups, write_bench
 
 SCHEMA_KEYS = {"name", "seconds", "draws", "population_size"}
+#: Sim-suite records add provenance (and MIPS for simulator runs).
+SIM_EXTRA_KEYS = {"backend", "mips"}
 
 
 def _smoke_records():
@@ -49,9 +51,38 @@ def test_write_bench_round_trips(tmp_path):
 def test_cli_bench_writes_output(tmp_path, capsys):
     out = tmp_path / "bench.json"
     code = main(["bench", "--profile", "smoke", "--draws", "20",
-                 "--sample-size", "5", "--output", str(out)])
+                 "--sample-size", "5", "--suite", "analytics",
+                 "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
     assert all(set(r) == SCHEMA_KEYS for r in payload)
     stdout = capsys.readouterr().out
     assert "speedup estimator-random" in stdout
+
+
+def test_sim_bench_records_and_speedup():
+    records = run_sim_bench(profile="smoke")
+    by_name = {r["name"]: r for r in records}
+    assert {"sim-train-models", "sim-panel-badco", "sim-calibrate-analytic",
+            "sim-panel-analytic", "sim-workloads-detailed",
+            "sim-workloads-interval"} <= set(by_name)
+    for record in records:
+        assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SIM_EXTRA_KEYS
+        assert record["seconds"] > 0
+    for name in ("sim-panel-badco", "sim-panel-analytic",
+                 "sim-workloads-detailed", "sim-workloads-interval"):
+        assert by_name[name]["mips"] > 0
+    # The acceptance bar: the analytic batch builds the same panel at
+    # least 10x faster than the event-driven badco loop.
+    ratios = speedups(records)
+    assert ratios["sim-panel"] >= 10
+
+
+def test_cli_bench_sim_suite(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--profile", "smoke", "--suite", "sim",
+                 "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert any(r["name"] == "sim-panel-analytic" for r in payload)
+    assert "speedup sim-panel" in capsys.readouterr().out

@@ -3,7 +3,7 @@
 import math
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.confidence import confidence_from_cv, required_sample_size
 from repro.core.delta import delta_statistics
@@ -55,6 +55,9 @@ def test_hmean_never_exceeds_amean(values):
 def test_delta_statistics_scale_invariance(values, scale):
     """cv is invariant under positive scaling of d(w)."""
     base = delta_statistics(values)
+    # A mean at cancellation scale (|sum| ~ eps * sum|v|) is pure
+    # rounding noise; cv is then meaningless and not scale-stable.
+    assume(abs(base.mean) > 1e-9 * max(abs(v) for v in values))
     scaled = delta_statistics([v * scale for v in values])
     if not math.isinf(base.cv):
         assert scaled.cv == __import__("pytest").approx(base.cv, rel=1e-6)
