@@ -34,6 +34,7 @@ from repro.api.backends import (
     UnknownBackendError,
     backend_names,
     backend_supports_batch,
+    backend_supports_policy_axis,
     get_backend,
     register_backend,
 )
@@ -44,6 +45,7 @@ from repro.api.scales import (
     ScaleParameters,
     coerce_scale,
     default_cache_dir,
+    default_model_store_dir,
     scale_parameters,
 )
 from repro.api.session import Session
@@ -54,11 +56,12 @@ __all__ = [
     "DetailedBackend", "BadcoBackend", "IntervalBackend",
     "AnalyticBackend", "register_backend", "get_backend",
     "backend_names", "backend_supports_batch",
+    "backend_supports_policy_axis",
     # campaigns
     "CampaignConfig", "Campaign", "CampaignTiming", "RESULTS_VERSION",
     # scales
     "Scale", "ScaleParameters", "coerce_scale", "scale_parameters",
-    "default_cache_dir",
+    "default_cache_dir", "default_model_store_dir",
     # facade
     "Session",
 ]

@@ -17,6 +17,11 @@ with ``supports_batch = True``; their simulator objects then expose
 ``run_batch(workloads) -> BatchRun`` next to the per-workload ``run``,
 and the campaign engine dispatches grids to the batch path (serial or
 chunked over the process pool) instead of the per-workload loop.
+Backends that can also batch the policy dimension declare
+``supports_policy_axis = True`` and expose
+``run_batch_grid(workloads, policies) -> GridRun`` (one N x P x K
+call); the engine then collapses its per-policy loop into a single
+dispatch whenever every policy shares the same pending workloads.
 
 Third-party simulators plug in without touching this package::
 
@@ -138,6 +143,7 @@ class AnalyticBackend:
 
     name = "analytic"
     supports_batch = True
+    supports_policy_axis = True
 
     def make_builder(self, trace_length: int, seed: int) -> Any:
         from repro.sim.analytic import AnalyticModelBuilder
@@ -159,6 +165,16 @@ class AnalyticBackend:
 def backend_supports_batch(backend: SimulatorBackend) -> bool:
     """Whether a backend's simulators offer the ``run_batch`` path."""
     return bool(getattr(backend, "supports_batch", False))
+
+
+def backend_supports_policy_axis(backend: SimulatorBackend) -> bool:
+    """Whether a backend's simulators offer ``run_batch_grid``.
+
+    Policy-axis backends score a whole (workloads x policies) grid in
+    one N x P x K call; the engine then replaces its per-policy batch
+    loop with a single dispatch.  Implies :func:`backend_supports_batch`.
+    """
+    return bool(getattr(backend, "supports_policy_axis", False))
 
 
 class UnknownBackendError(ValueError):

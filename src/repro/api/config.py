@@ -45,6 +45,13 @@ class CampaignConfig:
             serial (the default), larger values use a process pool.
         cache_dir: if set, results persist as JSON under this directory
             keyed by :attr:`cache_key`.
+        model_store_dir: if set, trained models (BADCO node models,
+            analytic calibrations and probes) persist under this
+            directory (see :mod:`repro.sim.modelstore`) and campaigns
+            load instead of retraining on a hit.  Like ``cache_dir``,
+            a storage location -- never part of the cache key, never a
+            result-changing knob (stored artefacts round-trip
+            bit-identically).
     """
 
     backend: str = "badco"
@@ -54,6 +61,7 @@ class CampaignConfig:
     warmup_fraction: float = 0.25
     jobs: int = 1
     cache_dir: Optional[Union[str, Path]] = None
+    model_store_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -66,6 +74,10 @@ class CampaignConfig:
             raise ValueError("jobs must be >= 1")
         if self.cache_dir is not None and not isinstance(self.cache_dir, Path):
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+        if self.model_store_dir is not None and \
+                not isinstance(self.model_store_dir, Path):
+            object.__setattr__(self, "model_store_dir",
+                               Path(self.model_store_dir))
 
     @property
     def cache_key(self) -> str:

@@ -26,6 +26,17 @@ on the pool, and the panel streams into the results columnar store via
 are independent, so chunking never changes values and ``jobs=4 ==
 jobs=1`` holds here too.
 
+Backends additionally declaring ``supports_policy_axis`` collapse even
+the per-policy loop: whenever every requested policy has the same
+pending workloads, the whole grid is one ``run_batch_grid`` N x P x K
+dispatch (or ``jobs`` row chunks, each scoring all policies), with
+each policy's slice bit-identical to its single-policy batch panel.
+
+Campaigns with a ``model_store_dir`` attach a persistent
+:class:`~repro.sim.modelstore.ModelStore` to their builder: trained
+BADCO node models and analytic calibrations are loaded from disk
+instead of retrained, bit-identically, across processes and sessions.
+
 Campaigns with a cache directory persist both the JSON interchange
 format and an ``.npz`` twin next to it; loads prefer the npz, which
 restores panels as matrices without the per-workload mapping rebuild.
@@ -42,6 +53,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.api.backends import (
     SimulatorBackend,
     backend_supports_batch,
+    backend_supports_policy_axis,
     get_backend,
 )
 from repro.api.config import CampaignConfig
@@ -107,6 +119,14 @@ def _worker_simulate_batch(task: Tuple[str, Tuple[str, ...]]):
     return policy, keys, run.ipcs, run.instructions, run.wall_seconds
 
 
+def _worker_simulate_grid(task: Tuple[Tuple[str, ...], Tuple[str, ...]]):
+    policies, keys = task
+    simulator = _worker_simulator(policies[0])
+    run = simulator.run_batch_grid(
+        [Workload.from_key(k) for k in keys], policies)
+    return keys, run.ipcs, run.instructions, run.wall_seconds
+
+
 def _pool_context():
     """Fork where available (fast, inherits trained models), else spawn."""
     try:
@@ -134,6 +154,10 @@ class Campaign:
         self.builder = (builder if builder is not None
                         else self.backend.make_builder(config.trace_length,
                                                        config.seed))
+        if config.model_store_dir is not None:
+            from repro.sim.modelstore import attach_store
+
+            attach_store(self.builder, config.model_store_dir)
         self.timing = CampaignTiming()
         self.results = PopulationResults(config.cores, config.backend)
         self._loaded_from_cache = False
@@ -268,25 +292,25 @@ class Campaign:
             return self.results
         cells = sum(len(todo) for _, todo in pending)
         workers = min(self.config.jobs, cells)
+        # Policy-axis backends collapse the per-policy loop into one
+        # N x P x K dispatch whenever every policy has the same pending
+        # rows (the common case: a fresh or uniformly-cached grid);
+        # ragged caches fall back to per-policy batches.
+        if (backend_supports_policy_axis(self.backend) and len(pending) > 1
+                and all(todo == pending[0][1] for _, todo in pending[1:])):
+            return self._run_grid_policy_axis(pending[0][1],
+                                              [p for p, _ in pending],
+                                              workers)
         if workers <= 1:
             for policy, todo in pending:
                 run = self._make_simulator(policy).run_batch(todo)
                 self._record_batch(policy, todo, run.ipcs,
                                    run.instructions, run.wall_seconds)
             return self.results
-        # Train (and, for builders that support it, calibrate) in the
-        # parent so forked workers inherit the expensive state.
-        if self.builder is not None:
-            benchmarks = sorted({name for _, todo in pending
-                                 for workload in todo for name in workload})
-            if hasattr(self.builder, "prepare"):
-                self.builder.prepare(benchmarks,
-                                     [policy for policy, _ in pending],
-                                     self.config.cores,
-                                     self.config.warmup_fraction)
-            elif hasattr(self.builder, "build"):
-                for benchmark in benchmarks:
-                    self.builder.build(benchmark)
+        self._prepare_builder(
+            sorted({name for _, todo in pending
+                    for workload in todo for name in workload}),
+            [policy for policy, _ in pending])
         tasks = []
         for policy, todo in pending:
             step = (len(todo) + workers - 1) // workers
@@ -307,6 +331,77 @@ class Campaign:
             ipcs, instructions, wall = merged[task]
             chunk = [Workload.from_key(key) for key in keys]
             self._record_batch(policy, chunk, ipcs, instructions, wall)
+        return self.results
+
+    def _prepare_builder(self, benchmarks: Sequence[str],
+                         policies: Sequence[str]) -> None:
+        """Train (and, where supported, calibrate) in the parent process.
+
+        Called before forking pool workers so they inherit the
+        expensive state instead of re-deriving it per process.
+        """
+        if self.builder is None:
+            return
+        if hasattr(self.builder, "prepare"):
+            self.builder.prepare(benchmarks, policies, self.config.cores,
+                                 self.config.warmup_fraction)
+        elif hasattr(self.builder, "build"):
+            for benchmark in benchmarks:
+                self.builder.build(benchmark)
+
+    def _run_grid_policy_axis(self, todo: Sequence[Workload],
+                              policies: Sequence[str],
+                              workers: int) -> PopulationResults:
+        """One ``run_batch_grid`` dispatch for the whole pending grid.
+
+        Every policy shares the same pending rows, so the engine's
+        per-policy loop becomes a single N x P x K call (``jobs=1``) or
+        ``jobs`` row chunks, each scoring all policies (``jobs>1``).
+        Rows are independent and each policy's slice equals its
+        single-policy batch panel, so results stay bit-identical to the
+        per-policy path for any ``jobs``.
+        """
+        todo = list(todo)
+        policies = list(policies)
+        workers = min(workers, len(todo))
+        if workers <= 1:
+            grid = self._make_simulator(policies[0]).run_batch_grid(
+                todo, policies)
+            self.timing.simulations += len(todo) * len(policies)
+            self.timing.instructions += grid.instructions
+            self.timing.wall_seconds += grid.wall_seconds
+            for number, policy in enumerate(policies):
+                self.results.record_batch(policy, todo,
+                                          grid.ipcs[:, number, :])
+            return self.results
+        self._prepare_builder(
+            sorted({name for workload in todo for name in workload}),
+            policies)
+        step = (len(todo) + workers - 1) // workers
+        chunk_keys = [tuple(w.key() for w in todo[start:start + step])
+                      for start in range(0, len(todo), step)]
+        tasks = [(tuple(policies), keys) for keys in chunk_keys]
+        merged: Dict[Tuple[str, ...], Tuple] = {}
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=_worker_init,
+                initargs=(self.backend, self.config, self.builder)) as pool:
+            for keys, ipcs, instructions, wall in pool.map(
+                    _worker_simulate_grid, tasks):
+                merged[keys] = (ipcs, instructions, wall)
+        # Record policy-major with chunks in row order -- exactly the
+        # block layout the serial per-policy path would produce.
+        for number, policy in enumerate(policies):
+            for keys in chunk_keys:
+                ipcs, _, _ = merged[keys]
+                chunk = [Workload.from_key(key) for key in keys]
+                self.results.record_batch(policy, chunk,
+                                          ipcs[:, number, :])
+        for keys in chunk_keys:
+            ipcs, instructions, wall = merged[keys]
+            self.timing.simulations += ipcs.shape[0] * len(policies)
+            self.timing.instructions += instructions
+            self.timing.wall_seconds += wall
         return self.results
 
     # -- per-workload pool path ----------------------------------------

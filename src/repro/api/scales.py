@@ -100,3 +100,21 @@ def default_cache_dir() -> Optional[Path]:
     if value:
         return Path(value)
     return Path.home() / ".cache" / "repro-ispass2013"
+
+
+def default_model_store_dir(cache_dir: Optional[Path]) -> Optional[Path]:
+    """Trained-model store directory for a session.
+
+    ``REPRO_MODEL_STORE_DIR`` overrides (empty string disables);
+    otherwise the store lives in a ``models/`` subdirectory of the
+    campaign cache -- so disabling the cache (CI hermeticity) disables
+    model persistence with it.
+    """
+    value = os.environ.get("REPRO_MODEL_STORE_DIR")
+    if value == "":
+        return None
+    if value:
+        return Path(value)
+    if cache_dir is None:
+        return None
+    return Path(cache_dir) / "models"

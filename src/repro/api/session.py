@@ -35,6 +35,7 @@ from repro.api.scales import (
     ScaleParameters,
     coerce_scale,
     default_cache_dir,
+    default_model_store_dir,
     scale_parameters,
 )
 from repro.bench.spec import benchmark_names
@@ -58,12 +59,18 @@ class Session:
         backend: default simulator backend for studies and results.
         cache_dir: on-disk campaign cache; defaults per
             :func:`repro.api.scales.default_cache_dir`.
+        model_store_dir: persistent trained-model store (see
+            :mod:`repro.sim.modelstore`); defaults per
+            :func:`repro.api.scales.default_model_store_dir` (a
+            ``models/`` subdirectory of the cache), an empty string
+            disables it.
         benchmarks: benchmark suite (default: the 22 SPEC stand-ins).
     """
 
     def __init__(self, scale: ScaleLike = Scale.MEDIUM, *, seed: int = 0,
                  jobs: int = 1, backend: str = "badco",
                  cache_dir: Optional[Path] = None,
+                 model_store_dir: Optional[Union[str, Path]] = None,
                  benchmarks: Optional[Sequence[str]] = None) -> None:
         self.scale = coerce_scale(scale)
         self.parameters: ScaleParameters = scale_parameters(self.scale)
@@ -72,6 +79,12 @@ class Session:
         self.backend = get_backend(backend).name
         self.cache_dir = (cache_dir if cache_dir is not None
                           else default_cache_dir())
+        if model_store_dir is None:
+            self.model_store_dir = default_model_store_dir(self.cache_dir)
+        elif str(model_store_dir) == "":
+            self.model_store_dir = None
+        else:
+            self.model_store_dir = Path(model_store_dir)
         self.benchmarks = list(benchmarks or benchmark_names())
         self.policies = list(POLICY_NAMES)
         self._populations: Dict[int, WorkloadPopulation] = {}
@@ -118,12 +131,17 @@ class Session:
             if name == "analytic":
                 from repro.sim.analytic import AnalyticModelBuilder
 
-                self._builders[key] = AnalyticModelBuilder(
+                builder = AnalyticModelBuilder(
                     self.parameters.trace_length, self.seed,
                     badco_builder=self.builder("badco"))
             else:
-                self._builders[key] = get_backend(name).make_builder(
+                builder = get_backend(name).make_builder(
                     self.parameters.trace_length, self.seed)
+            if self.model_store_dir is not None:
+                from repro.sim.modelstore import attach_store
+
+                attach_store(builder, self.model_store_dir)
+            self._builders[key] = builder
         return self._builders[key]
 
     def config(self, backend: Optional[str] = None,
@@ -132,7 +150,8 @@ class Session:
         return CampaignConfig(
             backend=get_backend(backend or self.backend).name, cores=cores,
             trace_length=self.parameters.trace_length, seed=self.seed,
-            jobs=self.jobs, cache_dir=self.cache_dir)
+            jobs=self.jobs, cache_dir=self.cache_dir,
+            model_store_dir=self.model_store_dir)
 
     def campaign(self, backend: Optional[str] = None,
                  cores: int = 2) -> Campaign:
@@ -189,7 +208,7 @@ class Session:
                   if policies is not None else self.policies)
         results = self.results(backend, cores, policies=chosen)
         index, matrices = results.columnar_panel(
-            chosen, list(self.population(cores)))
+            chosen, self.population(cores))
         return index, matrices, results.reference
 
     def study(self, baseline: str, candidate: str, *,

@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
                             f"built in: {', '.join(backend_names())})")
     study.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the campaign (default 1)")
+    study.add_argument("--model-store", default=None,
+                       help="directory for persisted trained models "
+                            "(default: <cache>/models, '' disables; see "
+                            "repro.sim.modelstore)")
 
     plan = sub.add_parser("plan", help="Section VII guideline for a cv")
     plan.add_argument("cv", type=float)
@@ -95,17 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="approximate-simulation backend for drivers "
                                  "that take one (e.g. `analytic`; built in: "
                                  f"{', '.join(backend_names())})")
+    experiment.add_argument("--model-store", default=None,
+                            help="directory for persisted trained models "
+                                 "(default: <cache>/models, '' disables)")
 
     bench = sub.add_parser(
         "bench", help="time the hot paths (analytics and simulation)")
     bench.add_argument("--profile", choices=("full", "smoke"), default="full",
                        help="full = the reference configuration "
                             "(4 cores, 1000 draws); smoke = CI-sized")
-    bench.add_argument("--suite", choices=("analytics", "sim", "all"),
+    bench.add_argument("--suite", choices=("analytics", "sim", "pop", "all"),
                        default="all",
                        help="analytics = estimator/delta scalar-vs-columnar; "
                             "sim = per-backend panel build (badco loop vs "
-                            "analytic batch) and MIPS")
+                            "analytic batch) and MIPS; pop = 8-core "
+                            "population enumeration/sampling and model-store "
+                            "cold-vs-warm campaigns")
     bench.add_argument("--draws", type=int, default=None,
                        help="Monte-Carlo draws (overrides the profile)")
     bench.add_argument("--sample-size", type=int, default=None,
@@ -157,7 +166,8 @@ def _cmd_study(args) -> int:
     except UnknownBackendError as error:
         print(error, file=sys.stderr)
         return 2
-    session = Session(args.scale, jobs=args.jobs, backend=backend)
+    session = Session(args.scale, jobs=args.jobs, backend=backend,
+                      model_store_dir=args.model_store)
     metric = metric_by_name(args.metric)
     try:
         study = session.study(args.baseline, args.candidate,
@@ -193,17 +203,17 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.perf import DEFAULT_SAMPLE_SIZE, PROFILES, run_bench, \
-        run_sim_bench, speedups, write_bench
+        run_pop_bench, run_sim_bench, speedups, write_bench
 
     overrides = [name for name, value in
                  (("--draws", args.draws), ("--sample-size",
                                             args.sample_size),
                   ("--cores", args.cores)) if value is not None]
-    if args.suite == "sim" and overrides:
-        # The sim suite runs fixed SIM_PROFILES grids; silently
+    if args.suite in ("sim", "pop") and overrides:
+        # The sim and pop suites run fixed profile grids; silently
         # ignoring these knobs would misreport what was benchmarked.
         print(f"{', '.join(overrides)} only apply to the analytics "
-              f"suite, not --suite sim", file=sys.stderr)
+              f"suite, not --suite {args.suite}", file=sys.stderr)
         return 2
     records = []
     if args.suite in ("analytics", "all"):
@@ -218,6 +228,8 @@ def _cmd_bench(args) -> int:
                                  max_population=max_population))
     if args.suite in ("sim", "all"):
         records.extend(run_sim_bench(profile=args.profile))
+    if args.suite in ("pop", "all"):
+        records.extend(run_pop_bench(profile=args.profile))
     print(f"{'benchmark':>34}  {'seconds':>10}  {'draws':>6}  {'N':>8}  "
           f"{'MIPS':>8}")
     for r in records:
@@ -266,7 +278,8 @@ def _cmd_experiment(args) -> int:
             print(f"experiment {args.name!r} does not take a backend",
                   file=sys.stderr)
             return 2
-    context = ExperimentContext(args.scale, jobs=args.jobs)
+    context = ExperimentContext(args.scale, jobs=args.jobs,
+                                model_store_dir=args.model_store)
     result = module.run(args.scale, context=context, **kwargs)
     for row in result.rows():
         print(row)

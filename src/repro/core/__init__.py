@@ -26,6 +26,7 @@ the paper:
 """
 
 from repro.core.workload import Workload
+from repro.core.codematrix import CodeMatrix
 from repro.core.population import WorkloadPopulation, population_size
 from repro.core.columnar import DeltaColumn, IpcMatrix, WorkloadIndex
 from repro.core.metrics import (
@@ -51,7 +52,7 @@ from repro.core.sampling import (
     WeightedSample,
     WorkloadStratification,
 )
-from repro.core.estimator import ConfidenceEstimator
+from repro.core.estimator import ConfidenceEstimator, PairedConfidenceEstimator
 from repro.core.classification import classify_benchmarks
 from repro.core.planner import GuidelineDecision, OverheadModel, recommend_method
 from repro.core.speedup_accuracy import (
@@ -62,6 +63,7 @@ from repro.core.study import PolicyComparisonStudy
 
 __all__ = [
     "Workload",
+    "CodeMatrix",
     "WorkloadPopulation",
     "population_size",
     "WorkloadIndex",
@@ -86,6 +88,7 @@ __all__ = [
     "WorkloadStratification",
     "SAMPLING_METHODS",
     "ConfidenceEstimator",
+    "PairedConfidenceEstimator",
     "classify_benchmarks",
     "GuidelineDecision",
     "OverheadModel",

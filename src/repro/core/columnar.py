@@ -49,7 +49,10 @@ class WorkloadIndex:
     Row numbers are assigned by position in ``workloads`` and never
     change, so any array whose axis 0 has length ``len(index)`` can be
     interpreted per-workload.  Built from a population (which preserves
-    its enumeration order) or any workload sequence.
+    its enumeration order), any workload sequence, or -- zero-copy --
+    straight from a :class:`~repro.core.codematrix.CodeMatrix`: the
+    matrix *is* the index's :attr:`codes`, and the workload tuple and
+    row dictionary are materialised only if something asks for them.
 
     Args:
         workloads: the workloads, in row order (must be unique and all
@@ -59,61 +62,129 @@ class WorkloadIndex:
             and the per-slot code matrix are aligned to it.
     """
 
-    __slots__ = ("workloads", "cores", "benchmarks", "_rows", "_codes",
-                 "_encoded", "_encoded_order")
+    __slots__ = ("cores", "benchmarks", "_workloads", "_size", "_rows",
+                 "_codes", "_encoded", "_encoded_order")
 
     def __init__(self, workloads: Sequence[Workload],
                  benchmarks: Optional[Sequence[str]] = None) -> None:
-        self.workloads: tuple = tuple(workloads)
-        if not self.workloads:
+        self._workloads: Optional[tuple] = tuple(workloads)
+        if not self._workloads:
             raise ValueError("empty workload index")
-        self.cores = self.workloads[0].k
-        if any(w.k != self.cores for w in self.workloads):
+        self._size = len(self._workloads)
+        self.cores = self._workloads[0].k
+        if any(w.k != self.cores for w in self._workloads):
             raise ValueError("all workloads must have the same core count")
-        self._rows: Dict[Workload, int] = {
-            w: i for i, w in enumerate(self.workloads)}
-        if len(self._rows) != len(self.workloads):
+        self._rows: Optional[Dict[Workload, int]] = {
+            w: i for i, w in enumerate(self._workloads)}
+        if len(self._rows) != self._size:
             raise ValueError("duplicate workloads in index")
         if benchmarks is None:
-            benchmarks = sorted({b for w in self.workloads for b in w})
+            benchmarks = sorted({b for w in self._workloads for b in w})
         self.benchmarks = tuple(sorted(benchmarks))
         self._codes: Optional[np.ndarray] = None
         self._encoded: Optional[np.ndarray] = None
         self._encoded_order: Optional[np.ndarray] = None
 
     @staticmethod
+    def from_code_matrix(matrix) -> "WorkloadIndex":
+        """Zero-copy index over a code matrix's rows.
+
+        The matrix becomes :attr:`codes` directly -- no ``Workload``
+        tuples are built, so indexing the full 8-core population costs
+        O(N x K) integers.  Row uniqueness is validated once on the
+        combinadic ranks (which, unlike the base-B packed keys, fit an
+        int64 for every population an int64 rank can address).
+
+        Args:
+            matrix: a :class:`~repro.core.codematrix.CodeMatrix` with
+                unique, sorted rows.
+        """
+        from repro.core.codematrix import rank_codes
+
+        if len(matrix) == 0:
+            raise ValueError("empty workload index")
+        index = WorkloadIndex.__new__(WorkloadIndex)
+        index._workloads = None
+        index._size = len(matrix)
+        index.cores = matrix.cores
+        index.benchmarks = matrix.benchmarks
+        index._rows = None
+        index._codes = matrix.codes
+        index._encoded = None
+        index._encoded_order = None
+        ranks = rank_codes(matrix.codes, matrix.num_benchmarks)
+        if np.unique(ranks).shape[0] != index._size:
+            raise ValueError("duplicate workloads in index")
+        return index
+
+    @staticmethod
     def from_population(population) -> "WorkloadIndex":
         """Index a :class:`~repro.core.population.WorkloadPopulation`.
 
         Rows follow the population's own order, so ``rows == arange``
-        for iteration over the population.
+        for iteration over the population.  Populations backed by a
+        code matrix are indexed zero-copy (see
+        :meth:`from_code_matrix`); prefer ``population.index``, which
+        memoises the result.
         """
+        matrix = getattr(population, "code_matrix", None)
+        if matrix is not None:
+            return WorkloadIndex.from_code_matrix(matrix)
         return WorkloadIndex(tuple(population.workloads),
                              population.benchmarks)
 
     # ------------------------------------------------------------------
     # Row lookups
 
+    @property
+    def workloads(self) -> tuple:
+        """The indexed workloads, in row order (materialised lazily)."""
+        if self._workloads is None:
+            names = self.benchmarks
+            self._workloads = tuple(
+                Workload.from_sorted(tuple(names[c] for c in row))
+                for row in self._codes.tolist())
+        return self._workloads
+
+    def _row_map(self) -> Dict[Workload, int]:
+        if self._rows is None:
+            self._rows = {w: i for i, w in enumerate(self.workloads)}
+        return self._rows
+
     def row(self, workload: Workload) -> int:
         try:
-            return self._rows[workload]
+            return self._row_map()[workload]
         except KeyError:
             raise KeyError(f"{workload} is not in this index") from None
 
     def rows(self, workloads: Sequence[Workload]) -> np.ndarray:
         """Row numbers for a workload sequence, as int64."""
-        lookup = self._rows
+        lookup = self._row_map()
         return np.fromiter((lookup[w] for w in workloads),
                            dtype=np.int64, count=len(workloads))
 
     def __len__(self) -> int:
-        return len(self.workloads)
+        return self._size
 
     def __iter__(self) -> Iterator[Workload]:
         return iter(self.workloads)
 
     def __contains__(self, workload: Workload) -> bool:
-        return workload in self._rows
+        return workload in self._row_map()
+
+    def same_rows(self, other: "WorkloadIndex") -> bool:
+        """Whether two indexes map the same workloads to the same rows.
+
+        Compares code matrices when both sides have them (no workload
+        materialisation), falling back to tuple equality.
+        """
+        if other is self:
+            return True
+        if self._codes is not None and other._codes is not None \
+                and self.benchmarks == other.benchmarks:
+            return (self._codes.shape == other._codes.shape
+                    and bool(np.array_equal(self._codes, other._codes)))
+        return self.workloads == other.workloads
 
     # ------------------------------------------------------------------
     # Benchmark codes
@@ -203,6 +274,17 @@ class IpcMatrix:
                 f"got {values.shape}")
         self.index = index
         self.values = values
+
+    @staticmethod
+    def from_code_matrix(matrix, values: np.ndarray) -> "IpcMatrix":
+        """Zero-copy panel over a code matrix's rows.
+
+        Pairs an N x K IPC panel with a
+        :class:`~repro.core.codematrix.CodeMatrix` without ever
+        materialising workload tuples (see
+        :meth:`WorkloadIndex.from_code_matrix`).
+        """
+        return IpcMatrix(WorkloadIndex.from_code_matrix(matrix), values)
 
     @staticmethod
     def from_table(index: WorkloadIndex, table: IpcTable,
@@ -311,8 +393,7 @@ DeltaLike = Union[DeltaColumn, Mapping[Workload, float], np.ndarray]
 def as_delta_column(index: WorkloadIndex, delta: DeltaLike) -> DeltaColumn:
     """Coerce a mapping / array / DeltaColumn to a DeltaColumn."""
     if isinstance(delta, DeltaColumn):
-        if delta.index is not index and \
-                delta.index.workloads != index.workloads:
+        if not delta.index.same_rows(index):
             raise ValueError("delta column indexed by different workloads")
         return delta
     if isinstance(delta, np.ndarray):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,14 @@ from repro.core.metrics import _row_dot
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling.base import SamplingMethod, SamplingPlan
 from repro.core.workload import Workload
+
+
+def _population_index(population: WorkloadPopulation) -> WorkloadIndex:
+    """The population's memoised index (zero-copy over its code matrix)."""
+    index = getattr(population, "index", None)
+    if isinstance(index, WorkloadIndex):
+        return index
+    return WorkloadIndex.from_population(population)
 
 
 @dataclass(frozen=True)
@@ -69,13 +77,13 @@ class ConfidenceEstimator:
                  draws: int = 1000) -> None:
         self.population = population
         if isinstance(delta, DeltaColumn):
-            if delta.index.workloads != tuple(population.workloads):
+            if not delta.index.same_rows(_population_index(population)):
                 raise ValueError(
                     "delta column indexed by different workloads than "
                     "the population")
             self.index = delta.index
         else:
-            self.index = WorkloadIndex.from_population(population)
+            self.index = _population_index(population)
         # Mapping input is validated with one set difference, reporting
         # every missing workload (not an O(N) membership scan).
         self.column = as_delta_column(self.index, delta)
@@ -162,3 +170,105 @@ class ConfidenceEstimator:
             means = _row_dot(span, weights)
             values.append(int(np.count_nonzero(means > 0.0)) / self.draws)
         return ConfidenceCurve(method.name, tuple(sample_sizes), tuple(values))
+
+
+class PairedConfidenceEstimator:
+    """Confidence for many policy pairs, one gather over a shared index.
+
+    The paper's Fig. 6 measures four policy pairs with the same
+    sampling methods over the same population: for any method whose
+    draws do not depend on d(w) (simple random, balanced random,
+    benchmark stratification), the row matrices of every pair are
+    *identical* -- only the gathered d(w) values differ.  This
+    estimator stacks the pairs' delta columns into one N x P matrix,
+    draws each (method, size) row batch once, gathers once, and reduces
+    every pair from the same gathered block.
+
+    Results are bit-identical per pair to running a separate
+    :class:`ConfidenceEstimator`: the RNG streams are those of the
+    single-pair paths, and the per-pair weighted means accumulate in
+    the same left-to-right column order (the trailing pair axis only
+    broadcasts the element-wise steps).
+
+    Args:
+        population: the shared workload population.
+        deltas: per-pair d(w) tables (any :data:`DeltaLike`), keyed by
+            the caller's pair labels; all must align with the
+            population's row order.
+        draws: Monte-Carlo resamples per (method, size) point.
+    """
+
+    def __init__(self, population: WorkloadPopulation,
+                 deltas: "Dict[object, DeltaLike]",
+                 draws: int = 1000) -> None:
+        if not deltas:
+            raise ValueError("no delta columns given")
+        self.population = population
+        self.index = _population_index(population)
+        self.columns = {key: as_delta_column(self.index, delta)
+                        for key, delta in deltas.items()}
+        #: N x P, one pair per column, in ``deltas`` insertion order.
+        self.stacked = np.column_stack(
+            [column.values for column in self.columns.values()])
+        self.draws = draws
+        self._plans: Dict[int, tuple] = {}
+
+    def _plan_for(self, method: SamplingMethod) -> Optional[SamplingPlan]:
+        key = id(method)
+        if key not in self._plans:
+            self._plans[key] = (method,
+                                method.plan(self.index, self.population))
+        return self._plans[key][1]
+
+    def _scalar_curves(self, method: SamplingMethod,
+                       sample_sizes: Sequence[int],
+                       seed: int) -> Dict[object, ConfidenceCurve]:
+        """Per-pair fallback for methods without a columnar plan."""
+        out = {}
+        for key, column in self.columns.items():
+            estimator = ConfidenceEstimator(self.population, column,
+                                            draws=self.draws)
+            out[key] = estimator.curve(method, sample_sizes, seed=seed)
+        return out
+
+    def confidence(self, method: SamplingMethod, sample_size: int,
+                   seed: int = 0) -> Dict[object, float]:
+        """One (method, size) point for every pair, one gather."""
+        curves = self.curve(method, [sample_size], seed=seed)
+        return {key: curve.confidence[0] for key, curve in curves.items()}
+
+    def curve(self, method: SamplingMethod, sample_sizes: Sequence[int],
+              seed: int = 0) -> Dict[object, ConfidenceCurve]:
+        """A whole Fig. 6 curve per pair from one row batch per size.
+
+        The per-size row matrices use exactly the per-pair RNG streams
+        (``(seed << 16) ^ size``), so every returned curve equals the
+        one :meth:`ConfidenceEstimator.curve` would produce for that
+        pair alone.
+        """
+        plan = self._plan_for(method)
+        if plan is None or not sample_sizes:
+            return self._scalar_curves(method, sample_sizes, seed)
+        batches = []
+        for size in sample_sizes:
+            rng = random.Random((seed << 16) ^ size)
+            batches.append(plan.rows_matrix(size, self.draws, rng))
+        # One gather for all sizes and all pairs: (draws, sum sizes, P).
+        gathered = self.stacked[
+            np.concatenate([rows for rows, _ in batches], axis=1)]
+        wins_per_pair: List[np.ndarray] = []
+        column = 0
+        for rows, weights in batches:
+            span = gathered[:, column:column + rows.shape[1], :]
+            column += rows.shape[1]
+            # _row_dot broadcasts over the trailing pair axis: the
+            # accumulation order per (draw, pair) matches the 2-D path.
+            means = _row_dot(span, weights)
+            wins_per_pair.append(np.count_nonzero(means > 0.0, axis=0))
+        out = {}
+        for p, key in enumerate(self.columns):
+            values = tuple(int(wins[p]) / self.draws
+                           for wins in wins_per_pair)
+            out[key] = ConfidenceCurve(method.name, tuple(sample_sizes),
+                                       values)
+        return out

@@ -5,23 +5,30 @@ workloads is the set of K-multisets over B symbols, of size
 C(B + K - 1, K) -- 253 for the paper's 22 benchmarks on 2 cores, 12650
 on 4 cores, and 4 292 145 on 8 cores (which is why the paper samples
 10000 workloads there instead of enumerating).
+
+Since the code-matrix refactor a population is a *lazy view* over an
+N x K integer benchmark-index matrix (:class:`~repro.core.codematrix.
+CodeMatrix`): enumeration and uniform sampling are vectorized
+stars-and-bars / combinadic operations, counts come from column
+statistics, and :class:`~repro.core.workload.Workload` objects are
+materialised only when a consumer iterates.  The 8-core full population
+therefore costs O(N x K) integers to enumerate, not 4.3 M Python
+objects.
 """
 
 from __future__ import annotations
 
 import itertools
-import math
 import random
 from typing import Iterator, List, Optional, Sequence
 
+from repro.core.codematrix import CodeMatrix, multiset_count
 from repro.core.workload import Workload
 
 
 def population_size(num_benchmarks: int, cores: int) -> int:
     """C(B + K - 1, K): number of K-multisets over B benchmarks."""
-    if num_benchmarks < 1 or cores < 1:
-        raise ValueError("need at least one benchmark and one core")
-    return math.comb(num_benchmarks + cores - 1, cores)
+    return multiset_count(num_benchmarks, cores)
 
 
 def enumerate_workloads(benchmarks: Sequence[str], cores: int) -> Iterator[Workload]:
@@ -39,6 +46,11 @@ def sample_workload(benchmarks: Sequence[str], cores: int,
     replacement from B + K - 1 maps to a unique multiset.  Drawing
     benchmarks independently would over-weight workloads with repeated
     benchmarks relative to the population.
+
+    (Population construction no longer draws through this one-at-a-time
+    path -- it samples ranks and unranks them in bulk, see
+    :mod:`repro.core.codematrix` -- but single draws remain useful for
+    ad-hoc workload picks, e.g. Table III's timing probes.)
     """
     ordered = sorted(benchmarks)
     b = len(ordered)
@@ -49,11 +61,19 @@ def sample_workload(benchmarks: Sequence[str], cores: int,
 
 
 class WorkloadPopulation:
-    """A concrete, materialised workload population (or large sample).
+    """A workload population (or large sample), backed by a code matrix.
 
     For 2 and 4 cores this is the complete population; for 8 cores the
     paper (and this class, via ``max_size``) uses a large uniform sample
     standing in for the intractable full population.
+
+    The population is *lazy*: construction builds only the N x K
+    benchmark-index matrix (exhaustive populations by vectorized
+    enumeration, sampled ones by drawing distinct combinadic ranks and
+    unranking -- no rejection loop).  ``len``, membership,
+    :meth:`benchmark_occurrences` and the columnar layer all work off
+    the matrix; :class:`~repro.core.workload.Workload` objects exist
+    only once something iterates or indexes.
 
     Args:
         benchmarks: the benchmark suite names.
@@ -71,19 +91,14 @@ class WorkloadPopulation:
         self.true_size = population_size(len(self.benchmarks), cores)
         self.is_exhaustive = max_size is None or self.true_size <= max_size
         self._membership: Optional[frozenset] = None
+        self._workload_list: Optional[List[Workload]] = None
+        self._index = None
         if self.is_exhaustive:
-            self._workloads: List[Workload] = list(
-                enumerate_workloads(self.benchmarks, cores))
+            self.code_matrix = CodeMatrix.full(self.benchmarks, cores)
         else:
             rng = random.Random(seed)
-            seen = set()
-            picks: List[Workload] = []
-            while len(picks) < max_size:
-                w = sample_workload(self.benchmarks, cores, rng)
-                if w not in seen:
-                    seen.add(w)
-                    picks.append(w)
-            self._workloads = sorted(picks)
+            self.code_matrix = CodeMatrix.sample(self.benchmarks, cores,
+                                                 max_size, rng)
 
     @classmethod
     def from_workloads(cls, workloads: Sequence[Workload],
@@ -103,38 +118,66 @@ class WorkloadPopulation:
             benchmarks: the benchmark universe; defaults to the names
                 appearing in the workloads.
         """
-        if not workloads:
-            raise ValueError("empty workload list")
-        cores = workloads[0].k
-        if any(w.k != cores for w in workloads):
-            raise ValueError("all workloads must have the same core count")
-        if benchmarks is None:
-            benchmarks = sorted({b for w in workloads for b in w})
+        matrix = CodeMatrix.from_workloads(workloads, benchmarks)
         frame = cls.__new__(cls)
-        frame.benchmarks = tuple(sorted(benchmarks))
-        frame.cores = cores
-        frame.true_size = population_size(len(frame.benchmarks), cores)
+        frame.benchmarks = matrix.benchmarks
+        frame.cores = matrix.cores
+        frame.true_size = population_size(len(frame.benchmarks), frame.cores)
         frame.is_exhaustive = False
         frame._membership = None
-        frame._workloads = list(workloads)
+        frame._index = None
+        frame.code_matrix = matrix
+        # The explicit list is authoritative (it may carry a caller
+        # ordering); keep it instead of re-materialising from codes.
+        frame._workload_list = list(workloads)
         return frame
 
     @property
     def workloads(self) -> Sequence[Workload]:
-        return self._workloads
+        """The materialised workload list (built on first use)."""
+        if self._workload_list is None:
+            self._workload_list = self.code_matrix.workloads()
+        return self._workload_list
+
+    @property
+    def index(self):
+        """The population's :class:`~repro.core.columnar.WorkloadIndex`.
+
+        Built zero-copy over the code matrix (workload tuples stay
+        unmaterialised until an index consumer needs them) and memoised,
+        so estimators, sampling plans and panels share one instance.
+        """
+        if self._index is None:
+            from repro.core.columnar import WorkloadIndex
+
+            self._index = WorkloadIndex.from_population(self)
+        return self._index
 
     def __len__(self) -> int:
-        return len(self._workloads)
+        return len(self.code_matrix)
 
     def __iter__(self) -> Iterator[Workload]:
-        return iter(self._workloads)
+        return iter(self.workloads)
 
-    def __getitem__(self, index: int) -> Workload:
-        return self._workloads[index]
+    def __getitem__(self, index):
+        if self._workload_list is None and isinstance(index, int):
+            n = len(self.code_matrix)
+            if not -n <= index < n:
+                raise IndexError("population index out of range")
+            return self.code_matrix.row_workload(index % n)
+        return self.workloads[index]
 
     def __contains__(self, workload: Workload) -> bool:
+        if not isinstance(workload, Workload) or workload.k != self.cores:
+            return False
+        if self.is_exhaustive:
+            # Every valid multiset over the suite is a member; no
+            # materialisation needed.
+            if self._membership is None:
+                self._membership = frozenset(self.benchmarks)
+            return all(name in self._membership for name in workload)
         if self._membership is None:
-            self._membership = frozenset(self._workloads)
+            self._membership = frozenset(self.workloads)
         return workload in self._membership
 
     def benchmark_occurrences(self) -> dict:
@@ -142,13 +185,11 @@ class WorkloadPopulation:
 
         In the exhaustive population every benchmark occurs the same
         number of times -- the symmetry behind balanced random sampling
-        (Section VI-A of the paper).
+        (Section VI-A of the paper).  Computed from code-matrix column
+        counts (one ``bincount``), not by walking workload objects.
         """
-        counts = {name: 0 for name in self.benchmarks}
-        for workload in self._workloads:
-            for name in workload:
-                counts[name] += 1
-        return counts
+        counts = self.code_matrix.benchmark_occurrences()
+        return dict(zip(self.benchmarks, counts.tolist()))
 
     def __repr__(self) -> str:
         kind = "exhaustive" if self.is_exhaustive else "sampled"

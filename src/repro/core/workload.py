@@ -34,6 +34,20 @@ class Workload:
             raise ValueError("a workload needs at least one benchmark")
         self._benchmarks: Tuple[str, ...] = tuple(sorted(benchmarks))
 
+    @classmethod
+    def from_sorted(cls, benchmarks: Tuple[str, ...]) -> "Workload":
+        """Wrap an *already sorted, non-empty* name tuple without copying.
+
+        The fast path for bulk materialisation from code matrices
+        (:mod:`repro.core.codematrix`), whose rows are sorted by
+        construction: skips the sort and the validation of
+        ``__init__``.  Callers must guarantee the invariant; a tuple
+        that is not sorted breaks equality and ordering.
+        """
+        workload = object.__new__(cls)
+        workload._benchmarks = benchmarks
+        return workload
+
     @property
     def benchmarks(self) -> Tuple[str, ...]:
         """The benchmark names, canonically sorted."""

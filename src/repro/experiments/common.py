@@ -59,6 +59,8 @@ class ExperimentContext:
         seed: global seed (traces, populations, resampling).
         cache_dir: on-disk campaign cache; defaults per
             :func:`repro.api.scales.default_cache_dir`.
+        model_store_dir: persistent trained-model store; defaults per
+            :func:`repro.api.scales.default_model_store_dir`.
         benchmarks: benchmark suite (default: the 22 SPEC stand-ins).
         jobs: worker processes for campaign grids (1 = serial).
     """
@@ -66,9 +68,12 @@ class ExperimentContext:
     def __init__(self, scale: ScaleLike = Scale.MEDIUM, seed: int = 0,
                  cache_dir: Optional[Path] = None,
                  benchmarks: Optional[Sequence[str]] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1,
+                 model_store_dir: Optional[Path] = None) -> None:
         self.session = Session(scale, seed=seed, jobs=jobs,
-                               cache_dir=cache_dir, benchmarks=benchmarks)
+                               cache_dir=cache_dir,
+                               model_store_dir=model_store_dir,
+                               benchmarks=benchmarks)
 
     # -- session views -------------------------------------------------
 

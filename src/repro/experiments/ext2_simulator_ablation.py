@@ -88,7 +88,11 @@ def run(scale: Scale = Scale.MEDIUM,
     x, y = pair
 
     # --- 1. single-thread accuracy of the two approximate simulators.
-    badco_builder = context.builder()
+    # A private, store-less builder: this ablation *measures* training
+    # cost, so a warm session model store must not satisfy the builds.
+    from repro.sim.badco.model import BadcoModelBuilder
+
+    badco_builder = BadcoModelBuilder(length, context.seed)
     interval_builder = IntervalProfileBuilder(length, context.seed)
     interval_builder.training_uops = 0
     accuracy: List[AccuracyRow] = []

@@ -18,9 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.classification import class_labels
-from repro.core.columnar import WorkloadIndex
 from repro.core.delta import DeltaVariable
-from repro.core.estimator import ConfidenceEstimator
+from repro.core.estimator import ConfidenceEstimator, PairedConfidenceEstimator
 from repro.core.metrics import IPCT, ThroughputMetric
 from repro.core.sampling import (
     BalancedRandomSampling,
@@ -74,26 +73,39 @@ def run(scale: Scale = Scale.MEDIUM,
     classes = class_labels(run_table4(scale, context).mpki)
     curves: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
     strata_counts: Dict[Tuple[str, str], int] = {}
-    index = WorkloadIndex.from_population(population)
+    index = population.index
+    variable = DeltaVariable(metric, results.reference)
+    deltas = {
+        pair: variable.column(index, results.ipc_table(pair[0]),
+                              results.ipc_table(pair[1]))
+        for pair in pairs}
+    # The pair-independent methods (their draws never look at d(w))
+    # share one row batch and one gather across all pairs; workload
+    # stratification derives its strata from each pair's own delta
+    # column, so it stays per pair.
+    shared_methods = [SimpleRandomSampling()]
+    if population.is_exhaustive:
+        # Balanced sampling needs the full population (footnote 6).
+        shared_methods.append(BalancedRandomSampling())
+    shared_methods.append(BenchmarkStratification(classes))
+    paired = PairedConfidenceEstimator(population, deltas,
+                                       draws=context.parameters.draws)
+    shared_curves = {
+        method.name: paired.curve(method, sample_sizes, seed=context.seed)
+        for method in shared_methods}
     for pair in pairs:
-        x, y = pair
-        variable = DeltaVariable(metric, results.reference)
-        delta = variable.column(index, results.ipc_table(x),
-                                results.ipc_table(y))
-        estimator = ConfidenceEstimator(population, delta,
-                                        draws=context.parameters.draws)
+        delta = deltas[pair]
         stratifier = WorkloadStratification.from_column(
             delta, min_stratum=max(10, len(population) // 40))
         strata_counts[pair] = stratifier.num_strata
-        methods = [SimpleRandomSampling()]
-        if population.is_exhaustive:
-            # Balanced sampling needs the full population (footnote 6).
-            methods.append(BalancedRandomSampling())
-        methods.extend((BenchmarkStratification(classes), stratifier))
-        curves[pair] = {
-            method.name: list(estimator.curve(method, sample_sizes,
-                                              seed=context.seed).confidence)
-            for method in methods}
+        estimator = ConfidenceEstimator(population, delta,
+                                        draws=context.parameters.draws)
+        by_method = {name: list(per_pair[pair].confidence)
+                     for name, per_pair in shared_curves.items()}
+        by_method[stratifier.name] = list(
+            estimator.curve(stratifier, sample_sizes,
+                            seed=context.seed).confidence)
+        curves[pair] = by_method
     return Fig6Result(metric=metric.name, cores=cores,
                       sample_sizes=tuple(sample_sizes), curves=curves,
                       strata_counts=strata_counts)

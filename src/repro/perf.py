@@ -1,6 +1,6 @@
 """Performance harness for the hot paths (``repro bench``).
 
-Two suites, written to the same ``BENCH_analytics.json`` trajectory:
+Three suites, written to the same ``BENCH_analytics.json`` trajectory:
 
 - *analytics* (:func:`run_bench`) -- the statistics stack: Monte-Carlo
   confidence estimation and d(w) construction, legacy scalar vs
@@ -9,29 +9,35 @@ Two suites, written to the same ``BENCH_analytics.json`` trajectory:
   panel-build time and MIPS for a (workloads x policies) grid, the
   event-driven ``badco`` loop against the ``analytic`` batch path,
   with model training and calibration costs recorded separately (they
-  are one-off and shared, the way Section VII-A charges them).
+  are one-off and shared, the way Section VII-A charges them);
+- *pop* (:func:`run_pop_bench`) -- the population layer: vectorized
+  enumeration and uniform sampling of the 8-core full population
+  (4 292 145 workloads as one code matrix), and a model-store cold vs
+  warm analytic campaign (the warm run loads every trained artefact
+  from disk instead of training).
 
 Results serialise as a list of records::
 
     {"name": ..., "seconds": ..., "draws": ..., "population_size": ...}
 
-``draws`` is 0 for entries that are not Monte-Carlo loops.  Sim
-records add ``"backend"`` and, for simulator runs, ``"mips"``.  The
-scalar/columnar pairing is by name suffix (``estimator-random-scalar``
-vs ``estimator-random-columnar``); the sim panel pairing is
-``sim-panel-badco`` vs ``sim-panel-analytic``.
+``draws`` is 0 for entries that are not Monte-Carlo loops.  Sim and
+store records add ``"backend"`` and, for simulator runs, ``"mips"``.
+The scalar/columnar pairing is by name suffix
+(``estimator-random-scalar`` vs ``estimator-random-columnar``); the sim
+panel pairing is ``sim-panel-badco`` vs ``sim-panel-analytic``; the
+store pairing is ``pop-store-cold`` vs ``pop-store-warm``.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.bench.spec import benchmark_names
-from repro.core.columnar import WorkloadIndex
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import WSU
@@ -68,6 +74,17 @@ SIM_PROFILES: Dict[str, Dict[str, int]] = {
 
 #: Policies exercised by the sim suite (one scan-resistant pair).
 SIM_POLICIES = ("LRU", "DIP")
+
+#: Pop-suite profiles.  ``cores``/``sample`` size the 8-core
+#: enumeration / sampling measurements (the population is always the
+#: full 22-benchmark suite); ``store_*`` size the model-store cold/warm
+#: campaign (trace length and benchmark count dominate its cost).
+POP_PROFILES: Dict[str, Dict[str, int]] = {
+    "full": {"cores": 8, "sample": 10000, "store_benchmarks": 6,
+             "store_cores": 2, "store_trace_length": 3000},
+    "smoke": {"cores": 8, "sample": 2000, "store_benchmarks": 3,
+              "store_cores": 2, "store_trace_length": 2000},
+}
 
 
 def _time(fn: Callable[[], object], repeat: int = 3) -> float:
@@ -106,7 +123,7 @@ def run_bench(draws: int = DEFAULT_DRAWS,
               for w in population}
     reference = {b: 0.7 + rng.random() for b in names}
     variable = DeltaVariable(WSU, reference)
-    index = WorkloadIndex.from_population(population)
+    index = population.index
 
     records: List[Dict[str, object]] = []
 
@@ -261,8 +278,76 @@ def run_sim_bench(profile: str = "smoke",
     return records
 
 
+def run_pop_bench(profile: str = "smoke",
+                  seed: int = 0) -> List[Dict[str, object]]:
+    """Time the population layer: enumeration, sampling, model store.
+
+    Enumerates the 8-core full population (4 292 145 workloads) as one
+    code matrix, draws a uniform sample of it through the population's
+    unrank path, and runs the same analytic campaign twice against a
+    fresh model store -- cold (training everything) and warm (loading
+    every trained artefact from disk).
+
+    Returns:
+        Bench records; ``pop-enumerate-8core`` / ``pop-sample-8core``
+        carry the population-scale seconds, ``pop-store-cold`` vs
+        ``pop-store-warm`` the persistence win.
+    """
+    from repro.api import Campaign, CampaignConfig
+    from repro.core.codematrix import CodeMatrix
+    from repro.core.population import population_size
+
+    parameters = POP_PROFILES[profile]
+    names = benchmark_names()
+    cores = parameters["cores"]
+    total = population_size(len(names), cores)
+    records: List[Dict[str, object]] = []
+
+    def record(name: str, seconds: float, population: int,
+               backend: Optional[str] = None) -> None:
+        entry: Dict[str, object] = {
+            "name": name,
+            "seconds": seconds,
+            "draws": 0,
+            "population_size": population,
+        }
+        if backend is not None:
+            entry["backend"] = backend
+        records.append(entry)
+
+    start = time.perf_counter()
+    matrix = CodeMatrix.full(names, cores)
+    record(f"pop-enumerate-{cores}core", time.perf_counter() - start, total)
+    assert len(matrix) == total
+    del matrix
+
+    start = time.perf_counter()
+    sampled = WorkloadPopulation(names, cores,
+                                 max_size=parameters["sample"], seed=seed)
+    record(f"pop-sample-{cores}core", time.perf_counter() - start,
+           len(sampled))
+
+    grid_names = _pick_sim_benchmarks(parameters["store_benchmarks"])
+    grid_population = WorkloadPopulation(grid_names,
+                                         parameters["store_cores"])
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "models"
+        config = CampaignConfig(
+            backend="analytic", cores=parameters["store_cores"],
+            trace_length=parameters["store_trace_length"], seed=seed,
+            model_store_dir=store_dir)
+        for label in ("cold", "warm"):
+            campaign = Campaign(config)    # fresh builder each time
+            start = time.perf_counter()
+            campaign.run_grid(list(grid_population), list(SIM_POLICIES))
+            campaign.reference_ipcs(grid_names)
+            record(f"pop-store-{label}", time.perf_counter() - start,
+                   len(grid_population), backend="analytic")
+    return records
+
+
 def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
-    """Wall-clock ratios: scalar/columnar pairs plus the sim panel."""
+    """Wall-clock ratios: scalar/columnar pairs plus the paired suites."""
     by_name = {str(r["name"]): float(r["seconds"]) for r in records}
     ratios: Dict[str, float] = {}
     for name, seconds in by_name.items():
@@ -272,10 +357,14 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
         columnar = by_name.get(stem + "-columnar")
         if columnar:
             ratios[stem] = seconds / columnar
-    loop = by_name.get("sim-panel-badco")
-    batch = by_name.get("sim-panel-analytic")
-    if loop and batch:
-        ratios["sim-panel"] = loop / batch
+    for stem, slow, fast in (("sim-panel", "sim-panel-badco",
+                              "sim-panel-analytic"),
+                             ("pop-store", "pop-store-cold",
+                              "pop-store-warm")):
+        numerator = by_name.get(slow)
+        denominator = by_name.get(fast)
+        if numerator and denominator:
+            ratios[stem] = numerator / denominator
     return ratios
 
 

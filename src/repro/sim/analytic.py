@@ -130,6 +130,34 @@ class BatchRun:
     wall_seconds: float
 
 
+@dataclass
+class GridRun:
+    """Outcome of one (workloads x policies) grid evaluated at once.
+
+    The policy-axis counterpart of :class:`BatchRun`: one closure call
+    scores every workload under every policy, so the campaign engine's
+    per-policy loop collapses into a single dispatch.
+
+    Attributes:
+        workloads: the simulated workloads, in row order.
+        policies: the policies, in axis-1 order.
+        ipcs: the N x P x K float64 IPC panel.
+        instructions: modelled uops over the whole grid.
+        wall_seconds: host wall-clock time of the array evaluation.
+    """
+
+    workloads: Tuple[Workload, ...]
+    policies: Tuple[str, ...]
+    ipcs: np.ndarray
+    instructions: int
+    wall_seconds: float
+
+    def panel(self, policy: str) -> np.ndarray:
+        """The N x K slice of one policy (bit-identical to its
+        single-policy :meth:`AnalyticSimulator.run_batch` panel)."""
+        return self.ipcs[:, self.policies.index(policy), :]
+
+
 class AnalyticModelBuilder:
     """Flattens BADCO node models and calibrates standalone anchors.
 
@@ -138,20 +166,32 @@ class AnalyticModelBuilder:
     train each benchmark once) and memoises the flattened vectors and
     the per-(benchmark, policy, uncore) calibration runs.
 
+    With a model *store* attached (see :mod:`repro.sim.modelstore`) the
+    calibration anchors and policy probes persist alongside the BADCO
+    node models: a warm campaign loads them instead of re-running, with
+    bit-identical values (JSON shortest-repr round-trips float64
+    exactly).
+
     Args:
         trace_length: uops per benchmark trace.
         seed: trace seed (must match the campaign's seed).
         badco_builder: an existing BADCO builder to share models with.
+        store: optional :class:`~repro.sim.modelstore.ModelStore`,
+            shared with the wrapped BADCO builder.
     """
 
     def __init__(self, trace_length: int = DEFAULT_TRACE_LENGTH,
                  seed: int = 0,
-                 badco_builder: Optional[BadcoModelBuilder] = None) -> None:
+                 badco_builder: Optional[BadcoModelBuilder] = None,
+                 store: Optional[object] = None) -> None:
         self.trace_length = trace_length
         self.seed = seed
         self.badco = badco_builder or BadcoModelBuilder(trace_length, seed)
         if self.badco.trace_length != trace_length:
             raise ValueError("badco builder trace length does not match")
+        self.store = None
+        if store is not None:
+            self.use_store(store)
         self._vectors: Dict[str, BenchmarkVector] = {}
         self._calibrations: Dict[Tuple[str, str, int, int], Calibration] = {}
         self._protections: Dict[Tuple[str, int, int], float] = {}
@@ -159,6 +199,28 @@ class AnalyticModelBuilder:
         #: backend's own training cost, reported by ``repro bench``).
         self.calibration_seconds = 0.0
         self.calibration_runs = 0
+
+    def use_store(self, store: Optional[object]) -> None:
+        """Attach a persistent model store (shared with the BADCO builder)."""
+        self.store = store
+        self.badco.use_store(store)
+
+    def _calibration_signature(self, uncore_config: UncoreConfig,
+                               warmup_fraction: float) -> str:
+        """Everything a calibration / probe run depends on, digested.
+
+        The anchor replays the benchmark's node model against the
+        target uncore with the given warmup metering, so the key
+        includes the node model's own store signature (core config,
+        trace length, seed, training constants) -- a change that
+        retrains the models must also re-anchor the calibrations.
+        """
+        from repro.sim.modelstore import config_signature
+
+        return config_signature(
+            "analytic-calibration", self.trace_length, self.seed,
+            warmup_fraction, uncore_config,
+            self.badco._store_signature())
 
     @property
     def training_uops(self) -> int:
@@ -211,6 +273,19 @@ class AnalyticModelBuilder:
         calibration = self._calibrations.get(key)
         if calibration is not None:
             return calibration
+        if self.store is not None:
+            signature = self._calibration_signature(uncore_config,
+                                                    warmup_fraction)
+            payload = self.store.load_record(
+                "calib", f"{benchmark}-{uncore_config.policy}", signature)
+            if payload is not None \
+                    and set(payload) == {"ipc", "cycles", "miss_ratio",
+                                         "extra_per_miss"} \
+                    and all(type(value) in (int, float)
+                            for value in payload.values()):
+                calibration = Calibration(**payload)
+                self._calibrations[key] = calibration
+                return calibration
         started = time.perf_counter()
         model = self.badco.build(benchmark)
         uncore = Uncore(uncore_config, seed=self.seed)
@@ -252,6 +327,13 @@ class AnalyticModelBuilder:
         self._calibrations[key] = calibration
         self.calibration_seconds += time.perf_counter() - started
         self.calibration_runs += 1
+        if self.store is not None:
+            self.store.save_record(
+                "calib", f"{benchmark}-{uncore_config.policy}",
+                self._calibration_signature(uncore_config, warmup_fraction),
+                {"ipc": calibration.ipc, "cycles": calibration.cycles,
+                 "miss_ratio": calibration.miss_ratio,
+                 "extra_per_miss": calibration.extra_per_miss})
         return calibration
 
     def _probe_pair_ipc(self, uncore_config: UncoreConfig,
@@ -275,30 +357,45 @@ class AnalyticModelBuilder:
         0 means the policy protects a co-running reuse region no better
         than LRU; 1 means the reuser keeps its full standalone IPC next
         to a streamer.  Measured once per (policy, LLC) with two probe
-        runs (memoised; LRU is 0 by definition and pays one).
+        runs (memoised; LRU is 0 by definition and pays nothing).
         """
         key = (uncore_config.policy, uncore_config.llc_size,
                uncore_config.llc_latency)
         value = self._protections.get(key)
         if value is not None:
             return value
-        started = time.perf_counter()
         if uncore_config.policy == "LRU":
+            # 0 by definition: no probe runs, no calibration accounting.
+            self._protections[key] = 0.0
+            return 0.0
+        if self.store is not None:
+            signature = self._calibration_signature(uncore_config,
+                                                    warmup_fraction)
+            payload = self.store.load_record("probe", uncore_config.policy,
+                                             signature)
+            if payload is not None and isinstance(
+                    payload.get("protection"), float):
+                self._protections[key] = payload["protection"]
+                return payload["protection"]
+        started = time.perf_counter()
+        baseline_config = uncore_config.with_policy("LRU")
+        baseline = self._probe_pair_ipc(baseline_config, warmup_fraction)
+        paired = self._probe_pair_ipc(uncore_config, warmup_fraction)
+        alone = self.calibrate(PROBE_REUSER, uncore_config,
+                               warmup_fraction).ipc
+        headroom = alone - baseline
+        if headroom <= 1e-12:
             value = 0.0
         else:
-            baseline_config = uncore_config.with_policy("LRU")
-            baseline = self._probe_pair_ipc(baseline_config, warmup_fraction)
-            paired = self._probe_pair_ipc(uncore_config, warmup_fraction)
-            alone = self.calibrate(PROBE_REUSER, uncore_config,
-                                   warmup_fraction).ipc
-            headroom = alone - baseline
-            if headroom <= 1e-12:
-                value = 0.0
-            else:
-                value = min(max((paired - baseline) / headroom, 0.0), 1.0)
+            value = min(max((paired - baseline) / headroom, 0.0), 1.0)
         self._protections[key] = value
         self.calibration_seconds += time.perf_counter() - started
         self.calibration_runs += 1
+        if self.store is not None:
+            self.store.save_record(
+                "probe", uncore_config.policy,
+                self._calibration_signature(uncore_config, warmup_fraction),
+                {"protection": value})
         return value
 
     def prepare(self, benchmarks: Sequence[str], policies: Sequence[str],
@@ -361,26 +458,46 @@ class AnalyticSimulator:
 
     # ------------------------------------------------------------------
 
-    def _gather(self, benchmarks: Sequence[str]) -> Dict[str, np.ndarray]:
-        """Per-benchmark model vectors, calibrated, as aligned arrays."""
+    def _config_for(self, policy: str) -> UncoreConfig:
+        """This machine's uncore under another replacement policy."""
+        if policy == self.uncore_config.policy:
+            return self.uncore_config
+        return self.uncore_config.with_policy(policy)
+
+    def _gather(self, benchmarks: Sequence[str],
+                policies: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Per-(policy, benchmark) model vectors as aligned P x B arrays.
+
+        The node-model rows (uops, intrinsic, sensitivity, requests,
+        footprint) are policy-independent and simply repeat per policy;
+        the calibration rows are one standalone anchor run per
+        (benchmark, policy), memoised in the builder.
+        """
         vectors = [self.builder.vectors(b) for b in benchmarks]
         calibrations = [
-            self.builder.calibrate(b, self.uncore_config,
-                                   self.warmup_fraction)
-            for b in benchmarks]
-        def as_array(values) -> np.ndarray:
-            return np.array(values, dtype=np.float64)
+            [self.builder.calibrate(b, self._config_for(policy),
+                                    self.warmup_fraction)
+             for b in benchmarks]
+            for policy in policies]
+
+        def per_bench(values) -> np.ndarray:
+            return np.tile(np.array(values, dtype=np.float64),
+                           (len(policies), 1))
+
+        def per_policy(get) -> np.ndarray:
+            return np.array([[get(c) for c in row] for row in calibrations],
+                            dtype=np.float64)
 
         return {
-            "uops": as_array([v.uops for v in vectors]),
-            "intrinsic": as_array([v.intrinsic for v in vectors]),
-            "sensitivity": as_array([v.sensitivity for v in vectors]),
-            "requests": as_array([v.requests for v in vectors]),
-            "footprint": as_array([v.footprint_lines for v in vectors]),
-            "alone_ipc": as_array([c.ipc for c in calibrations]),
-            "alone_cycles": as_array([c.cycles for c in calibrations]),
-            "miss_ratio": as_array([c.miss_ratio for c in calibrations]),
-            "extra": as_array([c.extra_per_miss for c in calibrations]),
+            "uops": per_bench([v.uops for v in vectors]),
+            "intrinsic": per_bench([v.intrinsic for v in vectors]),
+            "sensitivity": per_bench([v.sensitivity for v in vectors]),
+            "requests": per_bench([v.requests for v in vectors]),
+            "footprint": per_bench([v.footprint_lines for v in vectors]),
+            "alone_ipc": per_policy(lambda c: c.ipc),
+            "alone_cycles": per_policy(lambda c: c.cycles),
+            "miss_ratio": per_policy(lambda c: c.miss_ratio),
+            "extra": per_policy(lambda c: c.extra_per_miss),
         }
 
     def run_batch(self, workloads: Sequence[Workload]) -> BatchRun:
@@ -389,11 +506,35 @@ class AnalyticSimulator:
         Rows are independent: the IPCs of a workload do not depend on
         which other workloads share the batch, so any chunking of a
         grid (serial, per-policy, or across worker processes) produces
-        bit-identical panels.
+        bit-identical panels.  A one-policy slice of
+        :meth:`run_batch_grid`, so the loop, batch and grid paths are
+        bit-identical by construction.
         """
         workloads = tuple(workloads)
         if not workloads:
             return BatchRun((), np.empty((0, self.cores)), 0, 0.0)
+        grid = self.run_batch_grid(workloads, (self.policy,))
+        return BatchRun(workloads, grid.ipcs[:, 0, :], grid.instructions,
+                        grid.wall_seconds)
+
+    def run_batch_grid(self, workloads: Sequence[Workload],
+                       policies: Sequence[str]) -> GridRun:
+        """Score a whole (workloads x policies) grid in one closure call.
+
+        The policy axis rides along as the leading gather dimension:
+        every array operation of the contention closure broadcasts over
+        it, so the N x P x K panel costs one pass over the expression
+        instead of P per-policy evaluations -- and each policy's slice
+        is bit-identical to its single-policy :meth:`run_batch` panel
+        (the reductions run along the core axis only).
+        """
+        workloads = tuple(workloads)
+        policies = tuple(policies)
+        if not policies:
+            raise ValueError("need at least one policy")
+        if not workloads:
+            return GridRun((), policies,
+                           np.empty((0, len(policies), self.cores)), 0, 0.0)
         for workload in workloads:
             if workload.k != self.cores:
                 raise ValueError(
@@ -402,46 +543,54 @@ class AnalyticSimulator:
         benchmarks = sorted({b for w in workloads for b in w})
         # Train/calibrate before the clock starts: those one-off costs
         # are accounted in the builder (calibration_seconds), so
-        # BatchRun.wall_seconds measures only the array evaluation.
-        vectors = self._gather(benchmarks)
+        # GridRun.wall_seconds measures only the array evaluation.
+        vectors = self._gather(benchmarks, policies)
         if self.cores > 1:
-            self.builder.protection(self.uncore_config,
-                                    self.warmup_fraction)
+            protections = np.array(
+                [self.builder.protection(self._config_for(policy),
+                                         self.warmup_fraction)
+                 for policy in policies], dtype=np.float64)
+        else:
+            protections = np.zeros(len(policies))
         started = time.perf_counter()
         code = {name: i for i, name in enumerate(benchmarks)}
         codes = np.fromiter(
             (code[b] for w in workloads for b in w),
             dtype=np.int64, count=len(workloads) * self.cores,
         ).reshape(len(workloads), self.cores)
-        ipcs = self._evaluate(vectors, codes)
-        instructions = len(workloads) * self.cores * self.trace_length
-        return BatchRun(workloads, ipcs, instructions,
-                        time.perf_counter() - started)
+        ipcs = self._evaluate(vectors, protections, codes)
+        instructions = (len(workloads) * len(policies) * self.cores
+                        * self.trace_length)
+        return GridRun(workloads, policies,
+                       np.ascontiguousarray(ipcs.transpose(1, 0, 2)),
+                       instructions, time.perf_counter() - started)
 
-    def _evaluate(self, vec: Dict[str, np.ndarray],
+    def _evaluate(self, vec: Dict[str, np.ndarray], protections: np.ndarray,
                   codes: np.ndarray) -> np.ndarray:
-        """The model itself: N x K IPCs from gathered benchmark vectors."""
+        """The model itself: P x N x K IPCs from gathered P x B vectors.
+
+        Every step is element-wise or reduces along the trailing core
+        axis, so each policy's N x K slice computes exactly as a
+        single-policy evaluation would -- the policy axis is pure
+        broadcast.
+        """
         config = self.uncore_config
         llc_lines = config.llc_size / config.memory.line_bytes
 
-        footprint = vec["footprint"][codes]                      # N x K
+        footprint = vec["footprint"][:, codes]                   # P x N x K
         # Each co-runner pressures the shared LLC with its footprint,
         # discounted by the policy's measured scan resistance times how
         # streaming the co-runner is (its standalone miss ratio): a
         # scan-resistant policy keeps a streamer from flushing its
         # neighbours, which is exactly the DIP/DRRIP-vs-LRU effect the
         # replacement case study turns on.
-        if codes.shape[1] > 1:
-            protection = self.builder.protection(self.uncore_config,
-                                                 self.warmup_fraction)
-        else:
-            protection = 0.0
         per_bench_pressure = (vec["footprint"]
-                              * (1.0 - protection * vec["miss_ratio"]))
-        pressure = per_bench_pressure[codes]                     # N x K
+                              * (1.0 - protections[:, None]
+                                 * vec["miss_ratio"]))           # P x B
+        pressure = per_bench_pressure[:, codes]                  # P x N x K
         # Pressure felt by thread b: its own full footprint plus the
         # discounted footprints of everyone else.
-        felt = pressure.sum(axis=1)[:, None] - pressure + footprint
+        felt = pressure.sum(axis=-1)[..., None] - pressure + footprint
         # Fraction of each thread's lines resident alone vs shared: the
         # LLC splits proportionally to pressure (residency C/F_felt),
         # but reuse keeps every thread at least its equal share C/K --
@@ -452,9 +601,9 @@ class AnalyticSimulator:
             llc_lines / np.maximum(felt, 1.0),
             llc_lines / (codes.shape[1] * footprint)))
         survival = np.minimum(
-            1.0, shared_resident / alone_resident[codes])
+            1.0, shared_resident / alone_resident[:, codes])
         # A standalone hit survives sharing with probability `survival`.
-        miss_ratio = 1.0 - (1.0 - vec["miss_ratio"][codes]) * survival
+        miss_ratio = 1.0 - (1.0 - vec["miss_ratio"][:, codes]) * survival
 
         # Bus queueing: co-runner miss traffic (misses per cycle, using
         # standalone pass times as the rate basis) occupies the FSB for
@@ -464,23 +613,23 @@ class AnalyticSimulator:
         # calibrated extra_per_miss, which keeps a solo thread exactly
         # at its reference IPC.
         transfer = float(config.memory.transfer_cycles)
-        rates = (vec["requests"][codes] * miss_ratio
-                 / vec["alone_cycles"][codes])
-        others = rates.sum(axis=1)[:, None] - rates
+        rates = (vec["requests"][:, codes] * miss_ratio
+                 / vec["alone_cycles"][:, codes])
+        others = rates.sum(axis=-1)[..., None] - rates
         utilisation = np.minimum(others * transfer, MAX_BUS_UTILISATION)
         queue_wait = transfer * utilisation / (1.0 - utilisation)
-        extra = vec["extra"][codes] + queue_wait
+        extra = vec["extra"][:, codes] + queue_wait
 
         # Per-pass time, alone and shared, from the same expression; the
         # measured standalone IPC anchors the absolute level, so only
         # the contention *ratio* is analytic.
-        sensitivity = vec["sensitivity"][codes]
-        intrinsic = vec["intrinsic"][codes]
+        sensitivity = vec["sensitivity"][:, codes]
+        intrinsic = vec["intrinsic"][:, codes]
         alone_time = (intrinsic + sensitivity
-                      * vec["miss_ratio"][codes] * vec["extra"][codes])
+                      * vec["miss_ratio"][:, codes] * vec["extra"][:, codes])
         shared_time = intrinsic + sensitivity * miss_ratio * extra
-        return vec["alone_ipc"][codes] * (alone_time
-                                          / np.maximum(shared_time, 1.0))
+        return vec["alone_ipc"][:, codes] * (alone_time
+                                             / np.maximum(shared_time, 1.0))
 
     # ------------------------------------------------------------------
 

@@ -112,28 +112,63 @@ class _TrainingRun:
 class BadcoModelBuilder:
     """Builds (and caches) BADCO models for benchmarks.
 
+    With a model *store* attached (see :mod:`repro.sim.modelstore`),
+    trained models persist across processes: ``build`` consults the
+    store before paying the two detailed training runs, and saves what
+    it trains.  Stored models round-trip bit-identically, so campaigns
+    against a warm store reproduce cold-run results exactly while
+    performing zero training runs.
+
     Args:
         trace_length: uops per benchmark trace.
         seed: trace seed (must match the campaign's seed).
         core_config: detailed-core configuration used for training.
+        store: optional :class:`~repro.sim.modelstore.ModelStore`.
     """
 
     def __init__(self, trace_length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
-                 core_config: Optional[CoreConfig] = None) -> None:
+                 core_config: Optional[CoreConfig] = None,
+                 store: Optional[object] = None) -> None:
         self.trace_length = trace_length
         self.seed = seed
         self.core_config = core_config or default_core_config()
+        self.store = store
         self._cache = {}
         #: Detailed-simulation uops spent building models (Section VII-A
         #: charges this cost to the workload-stratification budget).
         self.training_uops = 0
         self.training_seconds = 0.0
+        #: Detailed training runs actually performed (2 per trained
+        #: benchmark; 0 for store / memory hits).
+        self.training_runs = 0
+
+    def use_store(self, store: Optional[object]) -> None:
+        """Attach (or detach) a persistent model store."""
+        self.store = store
+
+    def _store_signature(self) -> str:
+        """Everything a trained node model depends on, digested."""
+        from repro.sim.modelstore import config_signature
+
+        return config_signature("badco-nodes", self.trace_length, self.seed,
+                                self.core_config,
+                                TRAIN_HIT_LATENCY, TRAIN_MISS_LATENCY,
+                                MAX_NODE_UOPS)
 
     def build(self, benchmark: str) -> BadcoModel:
-        """Build (or fetch from cache) the model of one benchmark."""
+        """Build (or fetch from cache / store) the model of one benchmark."""
         model = self._cache.get(benchmark)
         if model is None:
-            model = self._build(benchmark)
+            if self.store is not None:
+                model = self.store.load_badco_model(benchmark,
+                                                    self._store_signature())
+                if model is not None and model.trace_length != self.trace_length:
+                    model = None     # signature collision; retrain
+            if model is None:
+                model = self._build(benchmark)
+                if self.store is not None:
+                    self.store.save_badco_model(model,
+                                                self._store_signature())
             self._cache[benchmark] = model
         return model
 
@@ -145,6 +180,7 @@ class BadcoModelBuilder:
         miss_run = _TrainingRun(benchmark, self.trace_length, self.seed,
                                 TRAIN_MISS_LATENCY, self.core_config)
         self.training_uops += 2 * self.trace_length
+        self.training_runs += 2
         self.training_seconds += _time.perf_counter() - started
         nodes = _build_nodes(hit_run, miss_run, self.trace_length)
         return BadcoModel(benchmark, self.trace_length, nodes)

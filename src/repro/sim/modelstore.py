@@ -1,0 +1,206 @@
+"""Persistent store for trained models and calibration anchors.
+
+Training a BADCO node model costs two detailed runs per benchmark, and
+the analytic backend adds one standalone calibration run per
+(benchmark, policy) plus two probe runs per policy -- the dominant
+start-up cost of every campaign now that panel evaluation is a handful
+of NumPy calls.  All of those artefacts are deterministic functions of
+their configuration, so this module makes them durable: a
+:class:`ModelStore` is a directory of content-addressed files, and
+builders consult it before training.
+
+Keys are explicit: every artefact file name carries the benchmark (or
+policy) it belongs to, a short configuration *signature* -- a SHA-256
+digest over everything the artefact depends on (trace length, seed,
+the full core / uncore configuration reprs, warmup fraction) -- and the
+store format version.  Like the campaign npz twin, bumping
+:data:`MODELSTORE_VERSION` orphans every stale file at once; stale or
+corrupt entries are never served, they are silently retrained.
+
+Stored values round-trip bit-identically: node-model floats travel as
+raw float64 npz bytes, calibration scalars as JSON shortest-repr (which
+Python parses back to the identical double).  A campaign against a warm
+store therefore produces bit-identical results to the cold run that
+filled it -- pinned by ``tests/test_modelstore.py``.
+
+Writes are atomic (temp file + ``os.replace``), so parallel campaigns
+sharing one store directory can race without corrupting entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sim.badco.model import BadcoModel, BadcoNode
+
+#: Store format revision, part of every file name.  Bump whenever the
+#: serialised layout *or* the semantics of any trained artefact change
+#: (e.g. a node-model builder fix), so stale files are orphaned rather
+#: than served.
+MODELSTORE_VERSION = 1
+
+#: Signature length (hex chars of the SHA-256 digest).
+_SIGNATURE_CHARS = 16
+
+
+def config_signature(*parts: object) -> str:
+    """A short stable digest over configuration objects.
+
+    Uses ``repr`` of each part -- the configuration dataclasses
+    (``CoreConfig``, ``UncoreConfig``, ...) have deterministic,
+    field-complete reprs -- so any change to any field changes the
+    signature.
+    """
+    payload = "\x1f".join(repr(part) for part in parts)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return digest[:_SIGNATURE_CHARS]
+
+
+def attach_store(builder: object,
+                 directory: Optional[Union[str, Path]]) -> None:
+    """Attach a store to a builder that supports one and has none.
+
+    The single attach policy shared by :class:`repro.api.engine.
+    Campaign` and :class:`repro.api.session.Session`: a ``None``
+    directory and builders without ``use_store`` are no-ops, and an
+    explicitly-set store is never overridden.
+    """
+    if directory is None or not hasattr(builder, "use_store"):
+        return
+    if getattr(builder, "store", None) is None:
+        builder.use_store(ModelStore(directory))
+
+
+class ModelStore:
+    """A directory of trained-model artefacts, keyed by signature.
+
+    Args:
+        root: the store directory (created on first write).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Low-level plumbing
+
+    def _path(self, stem: str, suffix: str) -> Path:
+        return self.root / f"{stem}-v{MODELSTORE_VERSION}{suffix}"
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            temporary.write_bytes(data)
+            os.replace(temporary, path)
+        finally:
+            if temporary.exists():     # pragma: no cover - failed replace
+                temporary.unlink()
+
+    # ------------------------------------------------------------------
+    # BADCO node models
+
+    def badco_model_path(self, benchmark: str, signature: str) -> Path:
+        """Where one benchmark's node model lives."""
+        return self._path(f"badco-{benchmark}-{signature}", ".npz")
+
+    def save_badco_model(self, model: BadcoModel, signature: str) -> None:
+        """Serialise one trained node model (atomic, bit-exact floats)."""
+        nodes = model.nodes
+        offsets = np.zeros(len(nodes) + 1, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            offsets[i + 1] = offsets[i] + len(node.extra_requests)
+        extra_addresses = np.fromiter(
+            (address for node in nodes for address, _ in node.extra_requests),
+            dtype=np.int64, count=int(offsets[-1]))
+        extra_is_write = np.fromiter(
+            (is_write for node in nodes for _, is_write in node.extra_requests),
+            dtype=np.bool_, count=int(offsets[-1]))
+        arrays = {
+            "benchmark": np.array(model.benchmark),
+            "trace_length": np.array(model.trace_length, dtype=np.int64),
+            "uop_count": np.array([n.uop_count for n in nodes],
+                                  dtype=np.int64),
+            "intrinsic": np.array([n.intrinsic for n in nodes],
+                                  dtype=np.float64),
+            "sensitivity": np.array([n.sensitivity for n in nodes],
+                                    dtype=np.float64),
+            # -1 marks the request-free tail node (read_address=None).
+            "read_address": np.array(
+                [-1 if n.read_address is None else n.read_address
+                 for n in nodes], dtype=np.int64),
+            "read_pc": np.array([n.read_pc for n in nodes], dtype=np.int64),
+            "extra_offsets": offsets,
+            "extra_addresses": extra_addresses,
+            "extra_is_write": extra_is_write,
+        }
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        self._write_atomic(self.badco_model_path(model.benchmark, signature),
+                           buffer.getvalue())
+
+    def load_badco_model(self, benchmark: str,
+                         signature: str) -> Optional[BadcoModel]:
+        """Deserialise one node model, or None on miss / corruption."""
+        path = self.badco_model_path(benchmark, signature)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if str(data["benchmark"]) != benchmark:
+                    return None
+                trace_length = int(data["trace_length"])
+                uop_count = data["uop_count"].tolist()
+                intrinsic = data["intrinsic"].tolist()
+                sensitivity = data["sensitivity"].tolist()
+                read_address = data["read_address"].tolist()
+                read_pc = data["read_pc"].tolist()
+                offsets = data["extra_offsets"].tolist()
+                addresses = data["extra_addresses"].tolist()
+                is_write = data["extra_is_write"].tolist()
+        except (OSError, KeyError, ValueError, EOFError,
+                zipfile.BadZipFile):
+            return None
+        extras: List[Tuple[Tuple[int, bool], ...]] = [
+            tuple(zip(addresses[start:stop], is_write[start:stop]))
+            for start, stop in zip(offsets[:-1], offsets[1:])]
+        nodes = [
+            BadcoNode(
+                uop_count=uop_count[i], intrinsic=intrinsic[i],
+                sensitivity=sensitivity[i],
+                read_address=None if read_address[i] < 0 else read_address[i],
+                read_pc=read_pc[i], extra_requests=extras[i])
+            for i in range(len(uop_count))]
+        return BadcoModel(benchmark, trace_length, nodes)
+
+    # ------------------------------------------------------------------
+    # Small scalar records (calibrations, policy probes)
+
+    def record_path(self, kind: str, name: str, signature: str) -> Path:
+        """Where one scalar record lives (``kind``: "calib", "probe")."""
+        return self._path(f"{kind}-{name}-{signature}", ".json")
+
+    def save_record(self, kind: str, name: str, signature: str,
+                    payload: Dict[str, float]) -> None:
+        """Persist one scalar record (atomic; floats via shortest repr)."""
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._write_atomic(self.record_path(kind, name, signature), data)
+
+    def load_record(self, kind: str, name: str,
+                    signature: str) -> Optional[Dict[str, float]]:
+        """Load one scalar record, or None on miss / corruption."""
+        path = self.record_path(kind, name, signature)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def __repr__(self) -> str:
+        return f"ModelStore({str(self.root)!r})"

@@ -213,7 +213,10 @@ class PopulationResults:
         Args:
             policies: policies to include (default: all recorded).
             workloads: row order (default: the workloads common to the
-                selected policies, sorted).
+                selected policies, sorted).  A
+                :class:`~repro.core.population.WorkloadPopulation` is
+                accepted directly and indexed zero-copy over its code
+                matrix (no tuple round trip).
 
         Returns:
             ``(index, matrices)``: the
@@ -226,7 +229,10 @@ class PopulationResults:
         if workloads is None:
             tables = [self._keys(p) for p in chosen]
             workloads = sorted(set.intersection(*tables)) if tables else []
-        index = WorkloadIndex(tuple(workloads))
+        if hasattr(workloads, "code_matrix"):    # a WorkloadPopulation
+            index = workloads.index
+        else:
+            index = WorkloadIndex(tuple(workloads))
         matrices = {}
         for policy in chosen:
             panel = self._policy_matrix(policy, index)

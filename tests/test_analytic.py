@@ -270,3 +270,103 @@ def test_newer_json_cache_wins_over_stale_npz(tmp_path, parity_population):
     os.utime(config.cache_path, (later, later))
     reloaded = Campaign(config)
     assert reloaded.results.has("DIP", workloads[0])
+
+
+# ----------------------------------------------------------------------
+# The policy axis: one N x P x K closure call for the whole grid
+
+
+def test_run_batch_grid_slices_match_per_policy_batches(parity_population):
+    """Each policy slice of the grid == its single-policy batch panel."""
+    builder = AnalyticModelBuilder(TEST_TRACE_LENGTH, 0)
+    simulator = AnalyticSimulator(2, "LRU", builder=builder,
+                                  trace_length=TEST_TRACE_LENGTH)
+    workloads = list(parity_population)[:10]
+    policies = ["LRU", "DIP", "DRRIP"]
+    grid = simulator.run_batch_grid(workloads, policies)
+    assert grid.ipcs.shape == (10, 3, 2)
+    for number, policy in enumerate(policies):
+        single = AnalyticSimulator(2, policy, builder=builder,
+                                   trace_length=TEST_TRACE_LENGTH)
+        panel = single.run_batch(workloads).ipcs
+        assert np.array_equal(grid.ipcs[:, number, :], panel)
+        assert np.array_equal(grid.panel(policy), panel)
+
+
+def test_run_batch_grid_row_chunking_is_bit_identical(parity_population):
+    builder = AnalyticModelBuilder(TEST_TRACE_LENGTH, 0)
+    simulator = AnalyticSimulator(2, "LRU", builder=builder,
+                                  trace_length=TEST_TRACE_LENGTH)
+    workloads = list(parity_population)[:9]
+    policies = ["LRU", "DIP"]
+    full = simulator.run_batch_grid(workloads, policies).ipcs
+    pieces = [simulator.run_batch_grid(workloads[start:start + 4],
+                                       policies).ipcs
+              for start in range(0, 9, 4)]
+    assert np.array_equal(np.concatenate(pieces, axis=0), full)
+
+
+def test_run_batch_grid_validates_inputs(parity_population):
+    builder = AnalyticModelBuilder(TEST_TRACE_LENGTH, 0)
+    simulator = AnalyticSimulator(2, "LRU", builder=builder,
+                                  trace_length=TEST_TRACE_LENGTH)
+    with pytest.raises(ValueError):
+        simulator.run_batch_grid(list(parity_population)[:2], [])
+    with pytest.raises(ValueError):
+        simulator.run_batch_grid([Workload(["gcc", "gcc", "gcc"])],
+                                 ["LRU"])
+    empty = simulator.run_batch_grid([], ["LRU", "DIP"])
+    assert empty.ipcs.shape == (0, 2, 2)
+
+
+def test_engine_single_dispatch_equals_per_policy_path(parity_population):
+    """The engine's grid dispatch must reproduce per-policy batches."""
+    from repro.api.backends import backend_supports_policy_axis
+
+    workloads = list(parity_population)
+    grid_campaign = _campaign("analytic")
+    assert backend_supports_policy_axis(grid_campaign.backend)
+    grid_campaign.run_grid(workloads, PARITY_POLICIES)
+
+    # Force the per-policy fallback by hiding the capability.
+    loop_campaign = _campaign("analytic")
+
+    class NoAxis:
+        name = "analytic"
+        supports_batch = True
+        supports_policy_axis = False
+
+        def __getattr__(self, attribute):
+            from repro.api.backends import get_backend
+
+            return getattr(get_backend("analytic"), attribute)
+
+    loop_campaign.backend = NoAxis()
+    loop_campaign.run_grid(workloads, PARITY_POLICIES)
+    assert grid_campaign.results.to_json() == loop_campaign.results.to_json()
+    assert (grid_campaign.timing.simulations
+            == loop_campaign.timing.simulations)
+
+
+def test_engine_grid_dispatch_falls_back_on_ragged_caches(parity_population):
+    """Partially cached policies keep the per-policy batch path correct."""
+    workloads = list(parity_population)
+    campaign = _campaign("analytic")
+    campaign.run_grid(workloads[:4], ["LRU"])       # LRU partially done
+    campaign.run_grid(workloads, PARITY_POLICIES)
+    reference = _campaign("analytic")
+    reference.run_grid(workloads, PARITY_POLICIES)
+    for policy in PARITY_POLICIES:
+        for workload in workloads:
+            assert (campaign.results.ipcs(policy, workload)
+                    == reference.results.ipcs(policy, workload))
+
+
+def test_grid_dispatch_jobs2_equals_jobs1(parity_population):
+    workloads = list(parity_population)
+    serial = _campaign("analytic", jobs=1)
+    serial.run_grid(workloads, ["LRU", "DIP", "DRRIP"])
+    parallel = _campaign("analytic", jobs=2)
+    parallel.run_grid(workloads, ["LRU", "DIP", "DRRIP"])
+    assert serial.results.to_json() == parallel.results.to_json()
+    assert parallel.timing.simulations == serial.timing.simulations

@@ -106,3 +106,79 @@ def test_curve_empty_sizes(small_population):
     estimator = ConfidenceEstimator(small_population, delta, draws=50)
     curve = estimator.curve(SimpleRandomSampling(), ())
     assert curve.sample_sizes == () and curve.confidence == ()
+
+
+# ----------------------------------------------------------------------
+# Batching policy pairs over one shared index
+
+
+def _pair_deltas(population, pairs=4, seed=0):
+    import numpy as np
+
+    from repro.core.columnar import DeltaColumn
+
+    rng = np.random.default_rng(seed)
+    return {f"pair{p}": DeltaColumn(
+                population.index, rng.normal(0.02, 1.0, len(population)))
+            for p in range(pairs)}
+
+
+def test_paired_estimator_bit_identical_per_pair(small_population):
+    from repro.core.estimator import PairedConfidenceEstimator
+    from repro.core.sampling import (
+        BalancedRandomSampling,
+        BenchmarkStratification,
+    )
+
+    deltas = _pair_deltas(small_population)
+    paired = PairedConfidenceEstimator(small_population, deltas, draws=200)
+    labels = ("low", "mid", "high")
+    classes = {b: labels[i % 3]
+               for i, b in enumerate(small_population.benchmarks)}
+    sizes = [4, 8, 12]
+    for method in (SimpleRandomSampling(), BalancedRandomSampling(),
+                   BenchmarkStratification(classes)):
+        grouped = paired.curve(method, sizes, seed=5)
+        for key, delta in deltas.items():
+            single = ConfidenceEstimator(small_population, delta,
+                                         draws=200)
+            assert (grouped[key].confidence
+                    == single.curve(method, sizes, seed=5).confidence)
+
+
+def test_paired_estimator_single_point(small_population):
+    from repro.core.estimator import PairedConfidenceEstimator
+
+    deltas = _pair_deltas(small_population, pairs=2)
+    paired = PairedConfidenceEstimator(small_population, deltas, draws=100)
+    method = SimpleRandomSampling()
+    point = paired.confidence(method, 6, seed=3)
+    for key, delta in deltas.items():
+        single = ConfidenceEstimator(small_population, delta, draws=100)
+        assert point[key] == single.confidence(method, 6, seed=3)
+
+
+def test_paired_estimator_scalar_fallback(small_population):
+    from repro.core.estimator import PairedConfidenceEstimator
+
+    class PlanlessRandom(SimpleRandomSampling):
+        def sample(self, population, size, rng):
+            return super().sample(population, size, rng)
+
+    deltas = _pair_deltas(small_population, pairs=2)
+    paired = PairedConfidenceEstimator(small_population, deltas, draws=50)
+    method = PlanlessRandom()
+    grouped = paired.curve(method, [5], seed=1)
+    for key, delta in deltas.items():
+        single = ConfidenceEstimator(small_population, delta, draws=50)
+        assert (grouped[key].confidence
+                == single.curve(method, [5], seed=1).confidence)
+
+
+def test_paired_estimator_rejects_empty():
+    from repro.core.estimator import PairedConfidenceEstimator
+    from repro.core.population import WorkloadPopulation
+
+    population = WorkloadPopulation(["a", "b"], 2)
+    with pytest.raises(ValueError):
+        PairedConfidenceEstimator(population, {}, draws=10)

@@ -1,0 +1,190 @@
+"""The persistent trained-model store: round trips, warm campaigns."""
+
+from repro.api import Campaign, CampaignConfig, Session
+from repro.core.population import WorkloadPopulation
+from repro.sim.analytic import AnalyticModelBuilder
+from repro.sim.badco.model import BadcoModelBuilder
+from repro.sim.modelstore import (
+    MODELSTORE_VERSION,
+    ModelStore,
+    config_signature,
+)
+
+TRACE = 2000
+
+
+def test_signature_is_stable_and_sensitive():
+    assert config_signature("a", 1) == config_signature("a", 1)
+    assert config_signature("a", 1) != config_signature("a", 2)
+    assert config_signature("a", 1) != config_signature("b", 1)
+
+
+def test_badco_model_round_trips_bit_identically(tmp_path):
+    store = ModelStore(tmp_path)
+    cold = BadcoModelBuilder(TRACE, 0, store=store)
+    trained = cold.build("gcc")
+    assert cold.training_runs == 2
+    warm = BadcoModelBuilder(TRACE, 0, store=store)
+    loaded = warm.build("gcc")
+    assert warm.training_runs == 0
+    assert warm.training_uops == 0
+    assert loaded.benchmark == trained.benchmark
+    assert loaded.trace_length == trained.trace_length
+    # Dataclass equality covers every float and every extra request.
+    assert loaded.nodes == trained.nodes
+
+
+def test_store_miss_on_different_configuration(tmp_path):
+    store = ModelStore(tmp_path)
+    BadcoModelBuilder(TRACE, 0, store=store).build("gcc")
+    other_seed = BadcoModelBuilder(TRACE, 1, store=store)
+    other_seed.build("gcc")
+    assert other_seed.training_runs == 2        # different trace, retrained
+    other_length = BadcoModelBuilder(TRACE + 500, 0, store=store)
+    other_length.build("gcc")
+    assert other_length.training_runs == 2
+
+
+def test_corrupt_store_entry_falls_back_to_training(tmp_path):
+    store = ModelStore(tmp_path)
+    first = BadcoModelBuilder(TRACE, 0, store=store)
+    first.build("gcc")
+    for path in tmp_path.iterdir():
+        path.write_bytes(b"not an npz")
+    warm = BadcoModelBuilder(TRACE, 0, store=store)
+    model = warm.build("gcc")
+    assert warm.training_runs == 2
+    assert model.nodes == first.build("gcc").nodes
+
+
+def test_store_files_carry_the_format_version(tmp_path):
+    store = ModelStore(tmp_path)
+    BadcoModelBuilder(TRACE, 0, store=store).build("gcc")
+    names = [p.name for p in tmp_path.iterdir()]
+    assert names and all(f"-v{MODELSTORE_VERSION}." in n for n in names)
+
+
+def test_calibration_and_probe_round_trip(tmp_path):
+    from repro.mem.uncore import uncore_config_for_cores
+
+    store = ModelStore(tmp_path)
+    cold = AnalyticModelBuilder(TRACE, 0, store=store)
+    config = uncore_config_for_cores(2, "DIP")
+    calibration = cold.calibrate("gcc", config)
+    protection = cold.protection(config)
+    assert cold.calibration_runs > 0
+
+    warm = AnalyticModelBuilder(TRACE, 0, store=store)
+    assert warm.calibrate("gcc", config) == calibration
+    assert warm.protection(config) == protection
+    assert warm.calibration_runs == 0
+    assert warm.badco.training_runs == 0
+
+
+def test_warm_campaign_trains_nothing_and_is_bit_identical(tmp_path):
+    """The acceptance criterion: zero training runs, identical results."""
+    names = ["gcc", "libquantum", "mcf"]
+    population = WorkloadPopulation(names, 2)
+    base = CampaignConfig(backend="analytic", cores=2, trace_length=TRACE,
+                          cache_dir=tmp_path / "cache-cold",
+                          model_store_dir=tmp_path / "models")
+    cold = Campaign(base)
+    cold.run_grid(list(population), ["LRU", "DIP"])
+    cold.reference_ipcs(names)
+    assert cold.builder.badco.training_runs > 0
+
+    # A fresh campaign with a fresh results cache but the same store:
+    # everything re-simulates analytically, nothing re-trains.
+    warm = Campaign(base.replace(cache_dir=tmp_path / "cache-warm"))
+    warm.run_grid(list(population), ["LRU", "DIP"])
+    warm.reference_ipcs(names)
+    assert warm.builder.badco.training_runs == 0
+    assert warm.builder.badco.training_uops == 0
+    assert warm.builder.calibration_runs == 0
+    assert warm.results.to_json() == cold.results.to_json()
+
+
+def test_campaign_attaches_store_only_without_one(tmp_path):
+    store = ModelStore(tmp_path / "explicit")
+    builder = AnalyticModelBuilder(TRACE, 0, store=store)
+    config = CampaignConfig(backend="analytic", cores=2, trace_length=TRACE,
+                            model_store_dir=tmp_path / "from-config")
+    campaign = Campaign(config, builder=builder)
+    assert campaign.builder.store is store      # explicit store wins
+
+
+def test_session_threads_model_store(tmp_path):
+    session = Session("small", cache_dir=tmp_path / "cache",
+                      model_store_dir=tmp_path / "models",
+                      benchmarks=["gcc", "mcf"], backend="analytic")
+    assert session.config().model_store_dir == tmp_path / "models"
+    builder = session.builder("analytic")
+    assert builder.store is not None
+    assert builder.store.root == tmp_path / "models"
+    assert builder.badco.store is not None
+    # Empty string disables persistence.
+    off = Session("small", cache_dir=tmp_path / "cache",
+                  model_store_dir="", benchmarks=["gcc", "mcf"])
+    assert off.model_store_dir is None
+    assert off.config().model_store_dir is None
+
+
+def test_default_model_store_lives_under_the_cache(tmp_path, monkeypatch):
+    from repro.api.scales import default_model_store_dir
+
+    monkeypatch.delenv("REPRO_MODEL_STORE_DIR", raising=False)
+    assert default_model_store_dir(tmp_path) == tmp_path / "models"
+    assert default_model_store_dir(None) is None
+    monkeypatch.setenv("REPRO_MODEL_STORE_DIR", "")
+    assert default_model_store_dir(tmp_path) is None
+    monkeypatch.setenv("REPRO_MODEL_STORE_DIR", str(tmp_path / "elsewhere"))
+    assert default_model_store_dir(tmp_path) == tmp_path / "elsewhere"
+
+
+def test_model_store_dir_stays_out_of_the_cache_key(tmp_path):
+    plain = CampaignConfig(backend="analytic", cores=2)
+    stored = plain.replace(model_store_dir=tmp_path)
+    assert plain.cache_key == stored.cache_key
+
+
+def test_load_record_rejects_non_mapping(tmp_path):
+    store = ModelStore(tmp_path)
+    store.save_record("calib", "gcc-LRU", "sig", {"ipc": 1.0})
+    path = store.record_path("calib", "gcc-LRU", "sig")
+    path.write_text("[1, 2, 3]")
+    assert store.load_record("calib", "gcc-LRU", "sig") is None
+    assert store.load_record("calib", "missing", "sig") is None
+
+
+def test_badzip_store_entry_falls_back_to_training(tmp_path):
+    """Zip-magic-but-corrupt files must retrain, not crash (BadZipFile)."""
+    store = ModelStore(tmp_path)
+    first = BadcoModelBuilder(TRACE, 0, store=store)
+    first.build("gcc")
+    for path in tmp_path.iterdir():
+        path.write_bytes(b"PK\x03\x04garbage")
+    assert store.load_badco_model("gcc",
+                                  first._store_signature()) is None
+    warm = BadcoModelBuilder(TRACE, 0, store=store)
+    assert warm.build("gcc").nodes == first.build("gcc").nodes
+    assert warm.training_runs == 2
+
+
+def test_corrupt_calibration_values_fall_back_to_running(tmp_path):
+    import json
+
+    from repro.mem.uncore import uncore_config_for_cores
+
+    store = ModelStore(tmp_path)
+    cold = AnalyticModelBuilder(TRACE, 0, store=store)
+    config = uncore_config_for_cores(2, "LRU")
+    calibration = cold.calibrate("gcc", config)
+    # Corrupt the stored values (right keys, wrong types).
+    signature = cold._calibration_signature(config, 0.25)
+    path = store.record_path("calib", "gcc-LRU", signature)
+    path.write_text(json.dumps({"ipc": "oops", "cycles": None,
+                                "miss_ratio": 0.1,
+                                "extra_per_miss": True}))
+    warm = AnalyticModelBuilder(TRACE, 0, store=store)
+    assert warm.calibrate("gcc", config) == calibration
+    assert warm.calibration_runs == 1       # re-ran, did not serve garbage

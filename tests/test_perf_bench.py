@@ -86,3 +86,40 @@ def test_cli_bench_sim_suite(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert any(r["name"] == "sim-panel-analytic" for r in payload)
     assert "speedup sim-panel" in capsys.readouterr().out
+
+
+def test_pop_bench_records_and_speedup():
+    from repro.perf import run_pop_bench
+
+    records = run_pop_bench(profile="smoke")
+    by_name = {r["name"]: r for r in records}
+    assert {"pop-enumerate-8core", "pop-sample-8core", "pop-store-cold",
+            "pop-store-warm"} == set(by_name)
+    for record in records:
+        assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SIM_EXTRA_KEYS
+        assert record["seconds"] > 0
+    # The acceptance bar: the full 8-core population (4 292 145
+    # workloads) enumerates in seconds, and a warm model store beats
+    # the cold (training) campaign decisively.
+    assert by_name["pop-enumerate-8core"]["population_size"] == 4292145
+    assert by_name["pop-enumerate-8core"]["seconds"] < 60
+    assert by_name["pop-sample-8core"]["population_size"] == 2000
+    ratios = speedups(records)
+    assert ratios["pop-store"] > 2
+
+
+def test_cli_bench_pop_suite(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--profile", "smoke", "--suite", "pop",
+                 "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert any(r["name"] == "pop-enumerate-8core" for r in payload)
+    assert "speedup pop-store" in capsys.readouterr().out
+
+
+def test_cli_bench_pop_suite_rejects_analytics_overrides(capsys):
+    code = main(["bench", "--profile", "smoke", "--suite", "pop",
+                 "--draws", "5", "--output", ""])
+    assert code == 2
+    assert "--suite pop" in capsys.readouterr().err

@@ -3,14 +3,17 @@
 import random
 from collections import Counter
 
+import numpy as np
 import pytest
 
+from repro.core.codematrix import CodeMatrix, unrank_scalar
 from repro.core.population import (
     WorkloadPopulation,
     enumerate_workloads,
     population_size,
     sample_workload,
 )
+from repro.core.workload import Workload
 
 
 def test_paper_population_sizes():
@@ -80,3 +83,75 @@ def test_sample_workload_members_come_from_suite():
         w = sample_workload(["x", "y"], 4, rng)
         assert set(w) <= {"x", "y"}
         assert w.k == 4
+
+
+# ----------------------------------------------------------------------
+# The code-matrix backing (lazy view, unrank-based sampling)
+
+
+def test_population_is_lazy_until_iterated():
+    pop = WorkloadPopulation([f"b{i}" for i in range(10)], 4)
+    # Size, occurrences and membership work straight off the matrix.
+    assert len(pop) == population_size(10, 4)
+    assert pop._workload_list is None
+    assert sum(pop.benchmark_occurrences().values()) == 4 * len(pop)
+    assert pop._workload_list is None
+    assert Workload(["b0"] * 4) in pop
+    assert Workload(["zz"] * 4) not in pop
+    assert pop._workload_list is None
+    # Single-row indexing materialises one workload, not the list.
+    assert pop[0] == Workload(["b0"] * 4)
+    assert pop[-1] == Workload(["b9"] * 4)
+    assert pop._workload_list is None
+    # Iteration materialises (once).
+    assert list(pop)[0] == pop[0]
+    assert pop._workload_list is not None
+
+
+def test_population_matches_enumeration_order():
+    names = ["c", "a", "b"]
+    pop = WorkloadPopulation(names, 2)
+    assert list(pop) == list(enumerate_workloads(names, 2))
+
+
+def test_sampled_population_draws_via_unrank():
+    """The sampled branch is distinct sorted ranks, scalar-verifiable."""
+    names = [f"b{i}" for i in range(22)]
+    pop = WorkloadPopulation(names, 8, max_size=200, seed=9)
+    assert not pop.is_exhaustive
+    assert len(pop) == 200
+    ranks = pop.code_matrix.ranks()
+    assert len(np.unique(ranks)) == 200
+    assert np.array_equal(ranks, np.sort(ranks))        # enumeration order
+    for rank, workload in zip(ranks.tolist(), pop):
+        names_at_rank = tuple(
+            pop.benchmarks[c] for c in unrank_scalar(rank, 22, 8))
+        assert tuple(workload) == names_at_rank
+
+
+def test_sampled_population_membership():
+    names = [f"b{i}" for i in range(22)]
+    pop = WorkloadPopulation(names, 8, max_size=50, seed=2)
+    inside = pop[10]
+    assert inside in pop
+    # A workload over the suite that was (almost surely) not drawn.
+    outside = Workload([names[0]] * 8)
+    assert (outside in pop) == (outside in set(pop.workloads))
+
+
+def test_from_workloads_keeps_code_matrix_in_caller_order():
+    frame = [Workload(["b", "b"]), Workload(["a", "b"])]
+    pop = WorkloadPopulation.from_workloads(frame, benchmarks=["a", "b", "c"])
+    assert list(pop) == frame
+    assert isinstance(pop.code_matrix, CodeMatrix)
+    assert pop.code_matrix.workloads() == frame
+    assert not pop.is_exhaustive
+    assert pop.benchmark_occurrences() == {"a": 1, "b": 3, "c": 0}
+
+
+def test_population_index_is_memoised_and_zero_copy():
+    pop = WorkloadPopulation(["a", "b", "c"], 2)
+    index = pop.index
+    assert index is pop.index
+    assert index.codes is pop.code_matrix.codes
+    assert len(index) == len(pop)
