@@ -23,6 +23,8 @@ thin wrapper over this class.
 from __future__ import annotations
 
 import random
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -47,6 +49,87 @@ from repro.mem.replacement import POLICY_NAMES, validate_policy_name
 from repro.sim.results import PopulationResults
 
 MetricLike = Union[str, ThroughputMetric]
+
+
+@dataclass(frozen=True)
+class FullScaleEstimate:
+    """Outcome of one end-to-end full-scale estimation run.
+
+    The driver's report card: what was compared, on how large a
+    population frame (enumerated or rank-sampled from the true
+    combinatorial population), the population verdict (1/cv), the
+    Monte-Carlo confidence per sampling method and sample size, plus
+    the accounting that shows the pipeline's cost profile -- phase
+    wall-clock seconds and how many training/calibration runs the
+    campaign actually performed (zero against a warm model store).
+
+    Attributes:
+        baseline / candidate: the compared LLC policies (X and Y).
+        metric: throughput-metric name (d(w) is built from it).
+        backend: simulator backend that scored the panels.
+        cores: K, the machine's core count.
+        population_size: workloads actually scored (the frame).
+        true_population_size: C(B + K - 1, K) of the full population.
+        sampled: whether the frame is a distinct-rank sample of the
+            full population rather than the exhaustive enumeration.
+        draws: Monte-Carlo resamples per (method, size) point.
+        num_strata: workload strata built from the d(w) column.
+        inverse_cv: 1/cv of d(w) over the frame (the Fig. 4/5 bar).
+        sample_sizes: the W values of the confidence curves.
+        confidence: per sampling-method confidence curve values.
+        training_runs: BADCO trainings + analytic calibrations/probes
+            performed during this call (0 == fully warm store).
+        timings: wall-clock seconds per phase ("population",
+            "panels", "delta", "confidence").
+    """
+
+    baseline: str
+    candidate: str
+    metric: str
+    backend: str
+    cores: int
+    population_size: int
+    true_population_size: int
+    sampled: bool
+    draws: int
+    num_strata: int
+    inverse_cv: float
+    sample_sizes: Tuple[int, ...]
+    confidence: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+    training_runs: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> List[str]:
+        """Printable report (used by ``repro estimate``)."""
+        frame = (f"{self.population_size} of {self.true_population_size} "
+                 f"workloads (rank-sampled)" if self.sampled
+                 else f"all {self.population_size} workloads")
+        lines = [
+            f"{self.candidate} vs {self.baseline} ({self.metric}, "
+            f"{self.cores} cores, {self.backend} backend)",
+            f"  population frame: {frame}",
+            f"  1/cv = {self.inverse_cv:+.3f}   "
+            f"(strata: {self.num_strata}, draws: {self.draws})",
+            f"  training/calibration runs this call: {self.training_runs}"
+            + ("  (warm model store)" if self.training_runs == 0 else ""),
+        ]
+        lines.append(f"  {'W':>6}  " + "  ".join(
+            f"{name:>16}" for name in self.confidence))
+        for i, size in enumerate(self.sample_sizes):
+            lines.append(f"  {size:6d}  " + "  ".join(
+                f"{series[i]:16.3f}" for series in self.confidence.values()))
+        lines.append("  phase seconds: " + ", ".join(
+            f"{phase} {seconds:.2f}"
+            for phase, seconds in self.timings.items()))
+        if self.inverse_cv == 0.0 and self.num_strata == 1:
+            lines.append(
+                "  note: d(w) is identically zero -- this backend cannot "
+                "separate the pair at this scale (scaled traces never "
+                "stress the large multi-core LLC; see the README's "
+                "analytic-accuracy caveat).  The pipeline itself ran end "
+                "to end; use an event-driven backend or longer traces "
+                "for a verdict.")
+        return lines
 
 
 class Session:
@@ -231,6 +314,124 @@ class Session:
         return PolicyComparisonStudy(
             self.population(cores), results.ipc_table(baseline),
             results.ipc_table(candidate), metric_obj, results.reference)
+
+    def estimate_full_scale(self, baseline: str = "LRU",
+                            candidate: str = "DIP", *,
+                            metric: MetricLike = "IPCT",
+                            cores: int = 8,
+                            sample: Optional[int] = None,
+                            draws: Optional[int] = None,
+                            sample_sizes: Sequence[int] = (10, 30, 100),
+                            min_stratum: Optional[int] = None,
+                            backend: Optional[str] = None
+                            ) -> FullScaleEstimate:
+        """The paper's full-scale scenario, end to end.
+
+        Composes every matrix-native layer into one driver: enumerate
+        (or rank-sample, when the scale caps the frame) the ``cores``
+        population as a :class:`~repro.core.codematrix.CodeMatrix`,
+        score the whole N x P x K panel through the batch engine (the
+        ``analytic`` backend's ``run_batch_grid``, with trained models
+        and calibrations served from the session's model store), build
+        the d(w) column, and measure Monte-Carlo confidence with
+        simple random and workload-stratified sampling (vectorized
+        draws).  At FULL scale with ``cores=8`` this is the paper's
+        4 292 145-workload scenario with a 10 000-workload frame.
+
+        Args:
+            baseline / candidate: the LLC policies to compare (X, Y).
+            metric: throughput metric for d(w) (name or object).
+            cores: machine core count (8 = the paper's full-scale).
+            sample: override the frame size (None = the scale's
+                population cap; the frame is rank-sampled whenever the
+                cap is below the true population size).
+            draws: Monte-Carlo resamples (None = the scale's draws).
+            sample_sizes: confidence-curve sample sizes W.
+            min_stratum: W_T for workload stratification (None = the
+                paper's 50, raised to frame/40 for large frames).
+            backend: batch-capable simulator backend (default
+                ``analytic``).
+
+        Returns:
+            A :class:`FullScaleEstimate` report.
+        """
+        from repro.core.columnar import delta_column_from_matrices
+        from repro.core.delta import DeltaVariable, delta_statistics
+        from repro.core.estimator import ConfidenceEstimator
+        from repro.core.sampling import (
+            SimpleRandomSampling,
+            WorkloadStratification,
+        )
+        from repro.core.sampling.workload_strata import DEFAULT_MIN_STRATUM
+
+        metric_obj = (metric_by_name(metric) if isinstance(metric, str)
+                      else metric)
+        baseline = validate_policy_name(baseline)
+        candidate = validate_policy_name(candidate)
+        backend = get_backend(backend or "analytic").name
+        timings: Dict[str, float] = {}
+
+        started = time.perf_counter()
+        if sample is None:
+            population = self.population(cores)
+        else:
+            population = WorkloadPopulation(self.benchmarks, cores,
+                                            max_size=sample, seed=self.seed)
+        timings["population"] = time.perf_counter() - started
+
+        builder = self.builder(backend)
+        runs_before = self._builder_runs(builder)
+        started = time.perf_counter()
+        results = self.results(backend, cores,
+                               policies=[baseline, candidate],
+                               workloads=list(population))
+        timings["panels"] = time.perf_counter() - started
+        training_runs = self._builder_runs(builder) - runs_before
+
+        started = time.perf_counter()
+        index, matrices = results.columnar_panel(
+            [baseline, candidate], population)
+        variable = DeltaVariable(metric_obj, results.reference)
+        delta = delta_column_from_matrices(
+            variable, matrices[baseline], matrices[candidate])
+        statistics = delta_statistics(delta.values)
+        timings["delta"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if min_stratum is None:
+            min_stratum = max(DEFAULT_MIN_STRATUM, len(population) // 40)
+        stratifier = WorkloadStratification.from_column(
+            delta, min_stratum=min_stratum)
+        estimator = ConfidenceEstimator(
+            population, delta,
+            draws=draws if draws is not None else self.parameters.draws)
+        confidence = {}
+        for method in (SimpleRandomSampling(), stratifier):
+            curve = estimator.curve(method, tuple(sample_sizes),
+                                    seed=self.seed)
+            confidence[method.name] = tuple(curve.confidence)
+        timings["confidence"] = time.perf_counter() - started
+
+        return FullScaleEstimate(
+            baseline=baseline, candidate=candidate, metric=metric_obj.name,
+            backend=backend, cores=cores,
+            population_size=len(population),
+            true_population_size=population.true_size,
+            sampled=not population.is_exhaustive,
+            draws=estimator.draws, num_strata=stratifier.num_strata,
+            inverse_cv=statistics.inverse_cv,
+            sample_sizes=tuple(sample_sizes), confidence=confidence,
+            training_runs=training_runs, timings=timings)
+
+    @staticmethod
+    def _builder_runs(builder: Any) -> int:
+        """Training runs a builder reports having performed so far.
+
+        Every builder owns its own accounting (``training_runs``; the
+        analytic builder's includes its wrapped BADCO builder and its
+        calibration/probe runs); builder-less backends report zero.
+        """
+        return int(getattr(builder, "training_runs", 0))
 
     def __repr__(self) -> str:
         return (f"Session(scale={self.scale.value!r}, seed={self.seed}, "

@@ -9,6 +9,10 @@ Commands:
                       guideline) on an approximate-simulation population,
                       on any registered simulator backend (``--backend``)
                       and optionally in parallel (``--jobs``);
+- ``estimate``     -- the full-scale pipeline: enumerate or rank-sample
+                      the population (8 cores by default), score analytic
+                      panels through the batch engine with the warm model
+                      store, and run stratified confidence estimation;
 - ``plan``         -- apply the Section VII guideline to a cv value;
 - ``experiment``   -- run one of the paper's table/figure drivers;
 - ``bench``        -- time the analytics hot paths (scalar vs columnar)
@@ -86,6 +90,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: <cache>/models, '' disables; see "
                             "repro.sim.modelstore)")
 
+    estimate = sub.add_parser(
+        "estimate", help="end-to-end full-scale confidence estimation")
+    estimate.add_argument("baseline", nargs="?", default="LRU")
+    estimate.add_argument("candidate", nargs="?", default="DIP")
+    estimate.add_argument("--cores", type=int, default=8,
+                          help="core count (default 8, the paper's "
+                               "full-scale scenario)")
+    estimate.add_argument("--metric", default="IPCT")
+    estimate.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
+    estimate.add_argument("--backend", default="analytic",
+                          help="batch-capable simulator backend "
+                               f"(built in: {', '.join(backend_names())})")
+    estimate.add_argument("--sample", type=int, default=None,
+                          help="population frame size (default: the "
+                               "scale's cap; rank-sampled when below the "
+                               "true population size)")
+    estimate.add_argument("--draws", type=int, default=None,
+                          help="Monte-Carlo draws (default: the scale's)")
+    estimate.add_argument("--sizes", type=int, nargs="+",
+                          default=(10, 30, 100),
+                          help="confidence-curve sample sizes W")
+    estimate.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the campaign")
+    estimate.add_argument("--model-store", default=None,
+                          help="directory for persisted trained models "
+                               "(default: <cache>/models, '' disables)")
+
     plan = sub.add_parser("plan", help="Section VII guideline for a cv")
     plan.add_argument("cv", type=float)
     plan.add_argument("--sample-size", type=int, default=30)
@@ -108,13 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--profile", choices=("full", "smoke"), default="full",
                        help="full = the reference configuration "
                             "(4 cores, 1000 draws); smoke = CI-sized")
-    bench.add_argument("--suite", choices=("analytics", "sim", "pop", "all"),
+    bench.add_argument("--suite",
+                       choices=("analytics", "sim", "pop", "e2e", "all"),
                        default="all",
                        help="analytics = estimator/delta scalar-vs-columnar; "
                             "sim = per-backend panel build (badco loop vs "
                             "analytic batch) and MIPS; pop = 8-core "
                             "population enumeration/sampling and model-store "
-                            "cold-vs-warm campaigns")
+                            "cold-vs-warm campaigns; e2e = the full-scale "
+                            "driver (sample -> panels -> stratified "
+                            "confidence), cold vs warm store")
     bench.add_argument("--draws", type=int, default=None,
                        help="Monte-Carlo draws (overrides the profile)")
     bench.add_argument("--sample-size", type=int, default=None,
@@ -189,6 +223,27 @@ def _cmd_study(args) -> int:
     return 0
 
 
+def _cmd_estimate(args) -> int:
+    try:
+        backend = get_backend(args.backend).name
+    except UnknownBackendError as error:
+        print(error, file=sys.stderr)
+        return 2
+    session = Session(args.scale, jobs=args.jobs, backend=backend,
+                      model_store_dir=args.model_store)
+    try:
+        estimate = session.estimate_full_scale(
+            args.baseline, args.candidate, metric=args.metric,
+            cores=args.cores, sample=args.sample, draws=args.draws,
+            sample_sizes=tuple(args.sizes), backend=backend)
+    except ValueError as error:         # e.g. an unknown policy name
+        print(error, file=sys.stderr)
+        return 2
+    for row in estimate.rows():
+        print(row)
+    return 0
+
+
 def _cmd_plan(args) -> int:
     decision = recommend_method(args.cv, args.sample_size)
     print(f"cv = {args.cv}: {decision.recommendation.value}")
@@ -203,15 +258,15 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.perf import DEFAULT_SAMPLE_SIZE, PROFILES, run_bench, \
-        run_pop_bench, run_sim_bench, speedups, write_bench
+        run_e2e_bench, run_pop_bench, run_sim_bench, speedups, write_bench
 
     overrides = [name for name, value in
                  (("--draws", args.draws), ("--sample-size",
                                             args.sample_size),
                   ("--cores", args.cores)) if value is not None]
-    if args.suite in ("sim", "pop") and overrides:
-        # The sim and pop suites run fixed profile grids; silently
-        # ignoring these knobs would misreport what was benchmarked.
+    if args.suite in ("sim", "pop", "e2e") and overrides:
+        # These suites run fixed profile grids; silently ignoring the
+        # knobs would misreport what was benchmarked.
         print(f"{', '.join(overrides)} only apply to the analytics "
               f"suite, not --suite {args.suite}", file=sys.stderr)
         return 2
@@ -230,6 +285,8 @@ def _cmd_bench(args) -> int:
         records.extend(run_sim_bench(profile=args.profile))
     if args.suite in ("pop", "all"):
         records.extend(run_pop_bench(profile=args.profile))
+    if args.suite in ("e2e", "all"):
+        records.extend(run_e2e_bench(profile=args.profile))
     print(f"{'benchmark':>34}  {'seconds':>10}  {'draws':>6}  {'N':>8}  "
           f"{'MIPS':>8}")
     for r in records:
@@ -293,6 +350,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "population": lambda: _cmd_population(args),
         "classify": lambda: _cmd_classify(args),
         "study": lambda: _cmd_study(args),
+        "estimate": lambda: _cmd_estimate(args),
         "plan": lambda: _cmd_plan(args),
         "experiment": lambda: _cmd_experiment(args),
         "bench": lambda: _cmd_bench(args),

@@ -18,6 +18,27 @@ For the columnar estimator, each method also offers a
 :class:`SamplingPlan` (``method.plan(index, population)``) that draws
 whole batches of *row numbers* -- bit-identical to ``sample`` for the
 same seeded generator.
+
+Draw paths, per plan (see the README's "Sampling internals" section):
+
+- :class:`SimpleRandomSampling` -- fully vectorized: uniform draws are
+  consecutive ``_randbelow`` outputs, replayed straight off the
+  Mersenne-Twister word stream (:class:`~repro.core.sampling.mtstream.
+  MTStream`).
+- :class:`BenchmarkStratification` / :class:`WorkloadStratification`
+  -- fully vectorized via the shared :class:`StratifiedRowPlan`: the
+  per-stratum ``random.sample``/``randrange`` calls are replayed by
+  :func:`~repro.core.sampling.mtstream.replay_schedule` (both CPython
+  sample algorithms, the ``setsize`` crossover included); the scalar
+  per-draw loop survives as ``rows_matrix_scalar``, the golden-parity
+  reference and automatic fallback.
+- :class:`BalancedRandomSampling` -- vectorized for small samples
+  (every Fisher-Yates shuffle position is its own replay step, so the
+  replay scales with slots^2 and auto mode hands large samples to the
+  scalar pool loop); row mapping is always vectorized.
+
+Third-party :class:`SamplingMethod` subclasses that only implement
+``sample`` transparently fall back to the estimator's scalar loop.
 """
 
 from repro.core.sampling.base import (

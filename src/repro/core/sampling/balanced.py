@@ -10,7 +10,7 @@ equally often (up to rounding when B does not divide W*K).
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,17 +23,43 @@ from repro.core.sampling.base import (
 from repro.core.workload import Workload
 
 
+#: Auto mode replays the shuffle only up to this many benchmark slots
+#: per sample: each Fisher-Yates position is one schedule step, so the
+#: replay's word-classification work grows with slots^2 per draw batch
+#: while the scalar loop grows with slots -- beyond small samples the
+#: scalar pool construction wins.
+VECTOR_SLOT_LIMIT = 24
+
+
 class BalancedRandomPlan(SamplingPlan):
     """Balanced draws as row numbers.
 
-    Pool construction and shuffling run on integer benchmark codes
+    Draw path: **vectorized for small samples, scalar above**.  Pool
+    construction runs on integer benchmark codes
     (``random.sample``/``random.shuffle`` consume the generator
-    identically regardless of element type), then the whole batch of
-    constructed workloads is mapped to rows in one vectorized
-    sort + binary search over the index's packed keys.
+    identically regardless of element type): the extra-slot sample and
+    the full Fisher-Yates shuffle of every draw are replayed in
+    batched NumPy ops through
+    :func:`repro.core.sampling.mtstream.replay_schedule` (one swap
+    column per shuffle position, vectorized across draws), then the
+    whole batch of constructed workloads is mapped to rows in one
+    vectorized sort + binary search over the index's packed keys.
+    Because every shuffle position is its own ``_randbelow`` bound,
+    the replay costs O(slots^2) word classifications per batch; auto
+    mode therefore keeps the per-draw Python loop
+    (:meth:`rows_matrix_scalar`, also the golden-parity reference)
+    for samples beyond :data:`VECTOR_SLOT_LIMIT` slots.
+
+    Args:
+        index: the row universe (see :meth:`SamplingMethod.plan`).
+        population: the exhaustive population being sampled.
+        vectorized: force the replay on (True) or off (False);
+            ``None`` (default) selects by slot count.  Results are
+            bit-identical either way.
     """
 
-    def __init__(self, index, population: WorkloadPopulation) -> None:
+    def __init__(self, index, population: WorkloadPopulation,
+                 vectorized: Optional[bool] = None) -> None:
         if not population.is_exhaustive:
             raise ValueError(
                 "balanced random sampling needs the exhaustive workload "
@@ -41,9 +67,48 @@ class BalancedRandomPlan(SamplingPlan):
         self._index = index
         self._num_benchmarks = len(population.benchmarks)
         self._cores = population.cores
+        self._vectorized = vectorized
 
     def rows_matrix(self, size: int, draws: int,
                     rng: random.Random) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.core.sampling.mtstream import (
+            apply_shuffle,
+            pool_pick,
+            replay_schedule,
+            sample_uses_pool,
+        )
+
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        replay = (size * self._cores <= VECTOR_SLOT_LIMIT
+                  if self._vectorized is None else self._vectorized)
+        if not replay:
+            return self.rows_matrix_scalar(size, draws, rng)
+        b, cores = self._num_benchmarks, self._cores
+        slots = size * cores
+        base, extra = divmod(slots, b)
+        ops = ([("sample", b, extra)] if extra else []) \
+            + [("shuffle", slots, 0)]
+        matrices = replay_schedule(rng, ops, draws)
+        pools = np.empty((draws, slots), dtype=np.int64)
+        pools[:, :base * b] = np.repeat(np.arange(b, dtype=np.int64), base)
+        if extra:
+            drawn = matrices[0]
+            # Over range(b) the selection-set j-indices are the codes
+            # themselves; the pool path permutes them first.
+            pools[:, base * b:] = (
+                pool_pick(np.arange(b, dtype=np.int64), drawn)
+                if sample_uses_pool(b, extra) else drawn)
+        apply_shuffle(pools, matrices[-1])
+        codes = np.sort(pools.reshape(draws * size, cores), axis=1)
+        rows = self._index.rows_from_codes(codes).reshape(draws, size)
+        weights = np.full(size, 1.0 / size)
+        return rows, weights
+
+    def rows_matrix_scalar(self, size: int, draws: int,
+                           rng: random.Random
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """The historical per-draw loop (reference and fallback)."""
         if size < 1:
             raise ValueError("sample size must be >= 1")
         b, cores = self._num_benchmarks, self._cores

@@ -14,8 +14,13 @@ Two ways to draw a sample:
   the scalar loop.
 
 Stratified methods represent their strata as row-index partitions: one
-list of row numbers per stratum, fixed at plan-build time, so each draw
-only pays for the per-stratum random picks.
+list of row numbers per stratum, fixed at plan-build time.  The shared
+:class:`StratifiedRowPlan` replays the per-stratum ``rng.sample`` /
+``rng.randrange`` consumption of *all* draws in batched NumPy ops (see
+:mod:`repro.core.sampling.mtstream`); every plan keeps its historical
+per-draw Python loop as ``rows_matrix_scalar`` -- the reference the
+golden parity tests compare against and the fallback for frames the
+replay cannot address.
 """
 
 from __future__ import annotations
@@ -107,6 +112,17 @@ class SamplingPlan:
 class StratifiedRowPlan(SamplingPlan):
     """Shared plan for stratified methods: strata as row partitions.
 
+    Draw path: **vectorized**.  The per-draw ``rng.sample`` (without
+    replacement inside a stratum) and ``rng.randrange`` (with
+    replacement when a stratum is oversampled) consumption is replayed
+    through :func:`repro.core.sampling.mtstream.replay_schedule`, so
+    all ``draws x strata x size`` row indices come out of batched
+    NumPy gathers -- bit-identical to the scalar loop, including the
+    final ``rng`` state.  The historical per-draw loop remains as
+    :meth:`rows_matrix_scalar`: it is the reference the golden parity
+    tests compare against, and the automatic fallback for frames too
+    large for the word-stream replay (strata beyond 2**32 rows).
+
     Args:
         layout: callable mapping a sample size to the per-stratum
             ``(rows, w_h)`` assignment, where ``rows`` is the stratum's
@@ -114,15 +130,17 @@ class StratifiedRowPlan(SamplingPlan):
             the method's ``sample`` uses) and ``w_h`` its slot count.
             Strata with ``w_h == 0`` must be omitted.
         total: N, the frame size the stratum weights N_h / N refer to.
+        vectorized: opt out of the replay path (scalar reference loop
+            only); results are identical either way.
     """
 
     def __init__(self,
                  layout: Callable[[int], List[Tuple[List[int], int]]],
-                 total: int) -> None:
+                 total: int, vectorized: bool = True) -> None:
         self._layout = layout
         self._total = total
-        self._cache: Dict[int, Tuple[List[Tuple[List[int], int]],
-                                     np.ndarray]] = {}
+        self._vectorized = vectorized
+        self._cache: Dict[int, tuple] = {}
 
     def _layout_for(self, size: int):
         cached = self._cache.get(size)
@@ -136,14 +154,54 @@ class StratifiedRowPlan(SamplingPlan):
                 weights.extend([weight] * w_h)
             scale = sum(weights)
             weights = [w / scale for w in weights]
-            cached = (chosen, np.array(weights, dtype=np.float64))
+            # The replay schedule and row arrays mirror the scalar
+            # loop: one sample() per stratum when drawing without
+            # replacement, one randrange() run when oversampled.
+            ops = []
+            arrays = []
+            for rows, w_h in chosen:
+                n_h = len(rows)
+                ops.append(("sample" if w_h <= n_h else "randbelow",
+                            n_h, w_h))
+                arrays.append(np.asarray(rows, dtype=np.int64))
+            replayable = all(n.bit_length() <= 32 for _, n, _ in ops)
+            cached = (chosen, np.array(weights, dtype=np.float64),
+                      ops, arrays, replayable)
             self._cache[size] = cached
         return cached
 
     def rows_matrix(self, size: int, draws: int,
                     rng: random.Random) -> Tuple[np.ndarray, np.ndarray]:
-        chosen, weights = self._layout_for(size)
-        slots = sum(w_h for _, w_h in chosen)
+        from repro.core.sampling.mtstream import (
+            pool_pick,
+            replay_schedule,
+            sample_uses_pool,
+        )
+
+        chosen, weights, ops, arrays, replayable = self._layout_for(size)
+        if not (self._vectorized and replayable):
+            return self.rows_matrix_scalar(size, draws, rng)
+        matrices = replay_schedule(rng, ops, draws)
+        out = np.empty((draws, len(weights)), dtype=np.int64)
+        column = 0
+        for (kind, n_h, w_h), rows, drawn in zip(ops, arrays, matrices):
+            if kind == "sample" and sample_uses_pool(n_h, w_h):
+                # Pool-path indices mutate the pool as they go; replay
+                # the Fisher-Yates value shuffle across all draws.
+                out[:, column:column + w_h] = pool_pick(rows, drawn)
+            else:
+                # Selection-set / randrange indices address the stratum
+                # directly.
+                out[:, column:column + w_h] = rows[drawn]
+            column += w_h
+        return out, weights
+
+    def rows_matrix_scalar(self, size: int, draws: int,
+                           rng: random.Random
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """The historical per-draw loop (reference and fallback)."""
+        chosen, weights = self._layout_for(size)[:2]
+        slots = len(weights)
         out = np.empty((draws, slots), dtype=np.int64)
         for d in range(draws):
             column = 0

@@ -155,8 +155,10 @@ class BenchmarkStratification(SamplingMethod):
         """Row-partition plan: class-composition strata built once.
 
         The object path re-derives the strata on *every* draw (an O(N)
-        scan); the plan pays that once and each draw only performs the
-        per-stratum random picks.
+        scan); the plan pays that once, and the returned
+        :class:`StratifiedRowPlan` replays the per-stratum random
+        picks of all draws in batched NumPy ops (see its docstring for
+        the vectorized-vs-scalar path contract).
         """
         if type(self).sample is not BenchmarkStratification.sample:
             return None     # subclass changed the sampling behaviour

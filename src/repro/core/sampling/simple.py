@@ -19,9 +19,13 @@ from repro.core.sampling.mtstream import MTStream
 class SimpleRandomPlan(SamplingPlan):
     """Fully vectorized uniform draws with replacement.
 
-    ``sample`` consumes one ``_randbelow(N)`` per pick, so a whole
-    batch is ``draws * size`` consecutive outputs of the generator's
-    word stream -- which :class:`MTStream` replays in bulk.
+    Draw path: **vectorized, always**.  ``sample`` consumes one
+    ``_randbelow(N)`` per pick, so a whole batch is ``draws * size``
+    consecutive outputs of the generator's word stream -- which
+    :class:`MTStream` replays in bulk with exact-position rejection
+    sampling.  This is the simplest of the replay paths (one bound, no
+    schedule), so it needs no scalar fallback of its own; the
+    estimator's object path remains the golden-parity reference.
     """
 
     def __init__(self, population_size: int) -> None:

@@ -229,8 +229,10 @@ class WorkloadStratification(SamplingMethod):
         """Row-partition plan over the d(w)-derived strata.
 
         Merging for small sample sizes and slot allocation follow
-        :meth:`sample` exactly; the strata become row-number lists so
-        each draw is just the per-stratum random picks.
+        :meth:`sample` exactly; the strata become row-number lists and
+        the returned :class:`StratifiedRowPlan` replays every draw's
+        per-stratum ``rng.sample`` picks in batched NumPy ops (scalar
+        reference kept as ``rows_matrix_scalar``; see its docstring).
         """
         if type(self).sample is not WorkloadStratification.sample:
             return None     # subclass changed the sampling behaviour

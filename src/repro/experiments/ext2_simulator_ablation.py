@@ -18,11 +18,12 @@ quality.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.columnar import WorkloadIndex
+import numpy as np
+
+from repro.core.columnar import DeltaColumn, WorkloadIndex
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import IPCT
@@ -119,17 +120,19 @@ def run(scale: Scale = Scale.MEDIUM,
     index = WorkloadIndex.from_population(population)
     delta_truth = variable.column(index, results.ipc_table(x),
                                   results.ipc_table(y))
-    # Interval-simulator d(w) over the same population.
-    interval_delta: Dict[Workload, float] = {}
-    for workload in population:
+    # Interval-simulator d(w) over the same population, built straight
+    # into a column aligned with the index's row order (the simulation
+    # loop is inherently per-workload; the d(w) container is not).
+    interval_values = np.empty(len(index.workloads), dtype=np.float64)
+    for row, workload in enumerate(index.workloads):
         ipcs = {}
         for policy in (x, y):
             sim = IntervalSimulator(cores=cores, policy=policy,
                                     builder=interval_builder,
                                     trace_length=length, seed=context.seed)
             ipcs[policy] = sim.run(workload).ipcs
-        interval_delta[workload] = variable.value(
-            workload, ipcs[x], ipcs[y])
+        interval_values[row] = variable.value(workload, ipcs[x], ipcs[y])
+    interval_delta = DeltaColumn(index, interval_values)
     estimator = ConfidenceEstimator(population, delta_truth,
                                     draws=min(context.parameters.draws, 500))
     min_stratum = max(10, len(population) // 40)
@@ -137,7 +140,7 @@ def run(scale: Scale = Scale.MEDIUM,
         "random": SimpleRandomSampling(),
         "strata-from-badco": WorkloadStratification.from_column(
             delta_truth, min_stratum=min_stratum),
-        "strata-from-interval": WorkloadStratification(
+        "strata-from-interval": WorkloadStratification.from_column(
             interval_delta, min_stratum=min_stratum),
     }
     confidence = {

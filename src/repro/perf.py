@@ -1,6 +1,6 @@
 """Performance harness for the hot paths (``repro bench``).
 
-Three suites, written to the same ``BENCH_analytics.json`` trajectory:
+Four suites, written to the same ``BENCH_analytics.json`` trajectory:
 
 - *analytics* (:func:`run_bench`) -- the statistics stack: Monte-Carlo
   confidence estimation and d(w) construction, legacy scalar vs
@@ -14,7 +14,13 @@ Three suites, written to the same ``BENCH_analytics.json`` trajectory:
   enumeration and uniform sampling of the 8-core full population
   (4 292 145 workloads as one code matrix), and a model-store cold vs
   warm analytic campaign (the warm run loads every trained artefact
-  from disk instead of training).
+  from disk instead of training);
+- *e2e* (:func:`run_e2e_bench`) -- the whole pipeline in one driver
+  (:meth:`repro.api.Session.estimate_full_scale`): rank-sample the
+  8-core population, score analytic panels through the batch engine,
+  run stratified confidence estimation -- once against an empty model
+  store (``e2e-8core-cold``: training included) and once against the
+  store the first run filled (``e2e-8core-warm``: zero training runs).
 
 Results serialise as a list of records::
 
@@ -25,7 +31,8 @@ store records add ``"backend"`` and, for simulator runs, ``"mips"``.
 The scalar/columnar pairing is by name suffix
 (``estimator-random-scalar`` vs ``estimator-random-columnar``); the sim
 panel pairing is ``sim-panel-badco`` vs ``sim-panel-analytic``; the
-store pairing is ``pop-store-cold`` vs ``pop-store-warm``.
+store pairing is ``pop-store-cold`` vs ``pop-store-warm``; the driver
+pairing is ``e2e-8core-cold`` vs ``e2e-8core-warm``.
 """
 
 from __future__ import annotations
@@ -84,6 +91,17 @@ POP_PROFILES: Dict[str, Dict[str, int]] = {
              "store_cores": 2, "store_trace_length": 3000},
     "smoke": {"cores": 8, "sample": 2000, "store_benchmarks": 3,
               "store_cores": 2, "store_trace_length": 2000},
+}
+
+
+#: E2e-suite profiles: the driver's frame/draw sizes.  ``benchmarks``
+#: is 0 for the full 22-name suite (the paper's 4 292 145-workload
+#: 8-core population, rank-sampled down to ``sample``).
+E2E_PROFILES: Dict[str, Dict[str, object]] = {
+    "full": {"benchmarks": 0, "cores": 8, "sample": 10000,
+             "draws": DEFAULT_DRAWS, "sizes": (DEFAULT_SAMPLE_SIZE,)},
+    "smoke": {"benchmarks": 6, "cores": 8, "sample": 1000,
+              "draws": 200, "sizes": (20,)},
 }
 
 
@@ -346,6 +364,63 @@ def run_pop_bench(profile: str = "smoke",
     return records
 
 
+def run_e2e_bench(profile: str = "smoke",
+                  seed: int = 0) -> List[Dict[str, object]]:
+    """Time the full-scale driver end to end, cold vs warm store.
+
+    Runs :meth:`repro.api.Session.estimate_full_scale` twice against
+    one model store: the cold run trains/calibrates everything, the
+    warm run (a fresh session and a fresh campaign cache, so panels
+    are re-scored rather than loaded) performs zero training runs.
+    Phase seconds of the warm run are recorded separately.
+
+    Returns:
+        Bench records; ``e2e-8core-cold`` vs ``e2e-8core-warm`` carry
+        the pipeline totals, ``e2e-8core-panels`` /
+        ``e2e-8core-confidence`` the warm run's dominant phases.
+    """
+    from repro.api import Session
+
+    parameters = E2E_PROFILES[profile]
+    count = int(parameters["benchmarks"])  # type: ignore[arg-type]
+    names = _pick_sim_benchmarks(count) if count else benchmark_names()
+    cores = int(parameters["cores"])  # type: ignore[arg-type]
+    records: List[Dict[str, object]] = []
+
+    def record(name: str, seconds: float, population: int,
+               draws: int = 0) -> None:
+        records.append({
+            "name": name, "seconds": seconds, "draws": draws,
+            "population_size": population, "backend": "analytic",
+        })
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "models"
+        for label in ("cold", "warm"):
+            session = Session(
+                "small", seed=seed, benchmarks=names,
+                cache_dir=Path(tmp) / f"cache-{label}",
+                model_store_dir=store)
+            start = time.perf_counter()
+            estimate = session.estimate_full_scale(
+                "LRU", "DIP", cores=cores,
+                sample=int(parameters["sample"]),  # type: ignore[arg-type]
+                draws=int(parameters["draws"]),  # type: ignore[arg-type]
+                sample_sizes=tuple(parameters["sizes"]))  # type: ignore
+            record(f"e2e-{cores}core-{label}",
+                   time.perf_counter() - start,
+                   estimate.population_size, estimate.draws)
+            if label == "warm":
+                assert estimate.training_runs == 0, \
+                    "warm driver run retrained models"
+                for phase in ("panels", "confidence"):
+                    record(f"e2e-{cores}core-{phase}",
+                           estimate.timings[phase],
+                           estimate.population_size,
+                           estimate.draws if phase == "confidence" else 0)
+    return records
+
+
 def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
     """Wall-clock ratios: scalar/columnar pairs plus the paired suites."""
     by_name = {str(r["name"]): float(r["seconds"]) for r in records}
@@ -360,7 +435,9 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
     for stem, slow, fast in (("sim-panel", "sim-panel-badco",
                               "sim-panel-analytic"),
                              ("pop-store", "pop-store-cold",
-                              "pop-store-warm")):
+                              "pop-store-warm"),
+                             ("e2e-8core", "e2e-8core-cold",
+                              "e2e-8core-warm")):
         numerator = by_name.get(slow)
         denominator = by_name.get(fast)
         if numerator and denominator:

@@ -227,6 +227,13 @@ class AnalyticModelBuilder:
         """Detailed-simulation uops spent training BADCO models."""
         return self.badco.training_uops
 
+    @property
+    def training_runs(self) -> int:
+        """Model-building runs performed so far: the wrapped BADCO
+        builder's detailed training runs plus this builder's own
+        calibration and probe runs.  Zero against a warm store."""
+        return self.badco.training_runs + self.calibration_runs
+
     def build(self, benchmark: str):
         """Train (or fetch) the benchmark's BADCO model.
 

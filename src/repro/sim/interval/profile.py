@@ -65,26 +65,55 @@ class IntervalProfile:
 class IntervalProfileBuilder:
     """Builds (and caches) interval profiles from one detailed run.
 
+    With a model *store* attached (see :mod:`repro.sim.modelstore`)
+    profiles persist like BADCO node models and analytic calibration
+    anchors: a warm builder loads the one-run profile from disk
+    instead of re-running the detailed core, bit-identically, and
+    counts no training uops for it.
+
     Args:
         trace_length: uops per benchmark trace.
         seed: trace seed (must match the campaign's).
         core_config: detailed-core configuration used for training; its
             ROB size defines the overlap window.
+        store: optional :class:`~repro.sim.modelstore.ModelStore`.
     """
 
     def __init__(self, trace_length: int = DEFAULT_TRACE_LENGTH, seed: int = 0,
-                 core_config: Optional[CoreConfig] = None) -> None:
+                 core_config: Optional[CoreConfig] = None,
+                 store: Optional[object] = None) -> None:
         self.trace_length = trace_length
         self.seed = seed
         self.core_config = core_config or default_core_config()
+        self.store = store
         self._cache = {}
         self.training_uops = 0
+        self.training_runs = 0
         self.training_seconds = 0.0
+
+    def use_store(self, store: Optional[object]) -> None:
+        """Attach a persistent profile store (see ``attach_store``)."""
+        self.store = store
+
+    def _store_signature(self) -> str:
+        """Everything a profile depends on, digested for the store."""
+        from repro.sim.modelstore import config_signature
+
+        return config_signature("interval-profile", self.trace_length,
+                                self.seed, self.core_config,
+                                TRAIN_HIT_LATENCY)
 
     def build(self, benchmark: str) -> IntervalProfile:
         profile = self._cache.get(benchmark)
         if profile is None:
-            profile = self._build(benchmark)
+            if self.store is not None:
+                profile = self.store.load_interval_profile(
+                    benchmark, self._store_signature())
+            if profile is None:
+                profile = self._build(benchmark)
+                if self.store is not None:
+                    self.store.save_interval_profile(
+                        profile, self._store_signature())
             self._cache[benchmark] = profile
         return profile
 
@@ -107,6 +136,7 @@ class IntervalProfileBuilder:
         while not core.done:
             commit_times.append(core.advance())
         self.training_uops += self.trace_length
+        self.training_runs += 1
         self.training_seconds += time.perf_counter() - started
         intervals = _group_intervals(events, commit_times,
                                      self.core_config.rob_entries,

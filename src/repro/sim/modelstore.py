@@ -1,13 +1,13 @@
 """Persistent store for trained models and calibration anchors.
 
-Training a BADCO node model costs two detailed runs per benchmark, and
-the analytic backend adds one standalone calibration run per
-(benchmark, policy) plus two probe runs per policy -- the dominant
-start-up cost of every campaign now that panel evaluation is a handful
-of NumPy calls.  All of those artefacts are deterministic functions of
-their configuration, so this module makes them durable: a
-:class:`ModelStore` is a directory of content-addressed files, and
-builders consult it before training.
+Training a BADCO node model costs two detailed runs per benchmark, an
+interval profile one, and the analytic backend adds one standalone
+calibration run per (benchmark, policy) plus two probe runs per policy
+-- the dominant start-up cost of every campaign now that panel
+evaluation is a handful of NumPy calls.  All of those artefacts are
+deterministic functions of their configuration, so this module makes
+them durable: a :class:`ModelStore` is a directory of
+content-addressed files, and builders consult it before training.
 
 Keys are explicit: every artefact file name carries the benchmark (or
 policy) it belongs to, a short configuration *signature* -- a SHA-256
@@ -178,6 +178,88 @@ class ModelStore:
                 read_pc=read_pc[i], extra_requests=extras[i])
             for i in range(len(uop_count))]
         return BadcoModel(benchmark, trace_length, nodes)
+
+    # ------------------------------------------------------------------
+    # Interval profiles (the one-training-run interval-model artefact)
+
+    def interval_profile_path(self, benchmark: str, signature: str) -> Path:
+        """Where one benchmark's interval profile lives."""
+        return self._path(f"interval-{benchmark}-{signature}", ".npz")
+
+    def save_interval_profile(self, profile, signature: str) -> None:
+        """Serialise one interval profile (atomic, bit-exact floats).
+
+        Ragged per-interval sequences (the overlap group's demand
+        reads, the fire-and-forget extras) travel as flat arrays plus
+        offset tables, like the BADCO node extras.
+        """
+        intervals = profile.intervals
+        read_offsets = np.zeros(len(intervals) + 1, dtype=np.int64)
+        extra_offsets = np.zeros(len(intervals) + 1, dtype=np.int64)
+        for i, interval in enumerate(intervals):
+            read_offsets[i + 1] = read_offsets[i] + len(interval.reads)
+            extra_offsets[i + 1] = extra_offsets[i] + len(interval.extras)
+        arrays = {
+            "benchmark": np.array(profile.benchmark),
+            "trace_length": np.array(profile.trace_length, dtype=np.int64),
+            "uop_count": np.array([i.uop_count for i in intervals],
+                                  dtype=np.int64),
+            "intrinsic": np.array([i.intrinsic for i in intervals],
+                                  dtype=np.float64),
+            "pc": np.array([i.pc for i in intervals], dtype=np.int64),
+            "read_offsets": read_offsets,
+            "read_addresses": np.fromiter(
+                (address for i in intervals for address in i.reads),
+                dtype=np.int64, count=int(read_offsets[-1])),
+            "extra_offsets": extra_offsets,
+            "extra_addresses": np.fromiter(
+                (address for i in intervals
+                 for address, _ in i.extras),
+                dtype=np.int64, count=int(extra_offsets[-1])),
+            "extra_is_write": np.fromiter(
+                (is_write for i in intervals
+                 for _, is_write in i.extras),
+                dtype=np.bool_, count=int(extra_offsets[-1])),
+        }
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        self._write_atomic(
+            self.interval_profile_path(profile.benchmark, signature),
+            buffer.getvalue())
+
+    def load_interval_profile(self, benchmark: str, signature: str):
+        """Deserialise one interval profile, or None on miss/corruption."""
+        from repro.sim.interval.profile import Interval, IntervalProfile
+
+        path = self.interval_profile_path(benchmark, signature)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if str(data["benchmark"]) != benchmark:
+                    return None
+                trace_length = int(data["trace_length"])
+                uop_count = data["uop_count"].tolist()
+                intrinsic = data["intrinsic"].tolist()
+                pc = data["pc"].tolist()
+                read_offsets = data["read_offsets"].tolist()
+                read_addresses = data["read_addresses"].tolist()
+                extra_offsets = data["extra_offsets"].tolist()
+                extra_addresses = data["extra_addresses"].tolist()
+                extra_is_write = data["extra_is_write"].tolist()
+        except (OSError, KeyError, ValueError, EOFError,
+                zipfile.BadZipFile):
+            return None
+        intervals = [
+            Interval(
+                uop_count=uop_count[i], intrinsic=intrinsic[i],
+                reads=tuple(read_addresses[read_offsets[i]:
+                                           read_offsets[i + 1]]),
+                extras=tuple(zip(extra_addresses[extra_offsets[i]:
+                                                 extra_offsets[i + 1]],
+                                 extra_is_write[extra_offsets[i]:
+                                                extra_offsets[i + 1]])),
+                pc=pc[i])
+            for i in range(len(uop_count))]
+        return IntervalProfile(benchmark, trace_length, intervals)
 
     # ------------------------------------------------------------------
     # Small scalar records (calibrations, policy probes)

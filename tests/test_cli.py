@@ -51,6 +51,30 @@ def test_experiment_sec7(capsys):
     assert "cpu" in capsys.readouterr().out.lower() or True
 
 
+def test_estimate_command(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_MODEL_STORE_DIR", str(tmp_path / "models"))
+    assert main(["estimate", "LRU", "DIP", "--cores", "2",
+                 "--scale", "small", "--sample", "15", "--draws", "50",
+                 "--sizes", "5", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "DIP vs LRU" in out
+    assert "population frame" in out
+    assert "workload-strata" in out
+
+
+def test_estimate_rejects_unknown_backend(capsys):
+    assert main(["estimate", "--backend", "nope"]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_estimate_rejects_unknown_policy(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["estimate", "LRU", "NOPE", "--cores", "2",
+                 "--scale", "small", "--sample", "10"]) == 2
+    assert "NOPE" in capsys.readouterr().err
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "fig99"])

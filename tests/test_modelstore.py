@@ -188,3 +188,56 @@ def test_corrupt_calibration_values_fall_back_to_running(tmp_path):
     warm = AnalyticModelBuilder(TRACE, 0, store=store)
     assert warm.calibrate("gcc", config) == calibration
     assert warm.calibration_runs == 1       # re-ran, did not serve garbage
+
+
+def test_interval_profile_round_trips_bit_identically(tmp_path):
+    from repro.sim.interval.profile import IntervalProfileBuilder
+
+    store = ModelStore(tmp_path)
+    cold = IntervalProfileBuilder(TRACE, 0, store=store)
+    trained = cold.build("mcf")
+    assert cold.training_runs == 1
+    assert cold.training_uops == TRACE
+    warm = IntervalProfileBuilder(TRACE, 0, store=store)
+    loaded = warm.build("mcf")
+    assert warm.training_runs == 0
+    assert warm.training_uops == 0
+    # Dataclass equality covers every interval's intrinsic float, read
+    # group and extras tuple.
+    assert loaded.benchmark == trained.benchmark
+    assert loaded.trace_length == trained.trace_length
+    assert loaded.intervals == trained.intervals
+
+
+def test_interval_profile_store_misses_on_other_config(tmp_path):
+    from repro.sim.interval.profile import IntervalProfileBuilder
+
+    store = ModelStore(tmp_path)
+    IntervalProfileBuilder(TRACE, 0, store=store).build("mcf")
+    other = IntervalProfileBuilder(TRACE, 7, store=store)
+    other.build("mcf")
+    assert other.training_runs == 1             # different seed, retrained
+    corrupt = ModelStore(tmp_path)
+    path = corrupt.interval_profile_path(
+        "mcf", IntervalProfileBuilder(TRACE, 0)._store_signature())
+    path.write_bytes(b"junk")
+    rebuilt = IntervalProfileBuilder(TRACE, 0, store=store)
+    rebuilt.build("mcf")
+    assert rebuilt.training_runs == 1
+
+
+def test_interval_campaign_warms_from_the_store(tmp_path):
+    from repro.core.workload import Workload
+
+    config = CampaignConfig(backend="interval", cores=2, trace_length=TRACE,
+                            seed=0, model_store_dir=tmp_path / "models")
+    workloads = [Workload(["gcc", "mcf"]), Workload(["gcc", "gcc"])]
+    cold = Campaign(config)
+    cold.run_grid(workloads, ["LRU"])
+    assert cold.builder.training_runs == 2
+    warm = Campaign(config)                     # fresh builder, same store
+    warm.run_grid(workloads, ["LRU"])
+    assert warm.builder.training_runs == 0
+    for workload in workloads:
+        assert warm.results.ipcs("LRU", workload) == \
+            cold.results.ipcs("LRU", workload)

@@ -123,3 +123,33 @@ def test_cli_bench_pop_suite_rejects_analytics_overrides(capsys):
                  "--draws", "5", "--output", ""])
     assert code == 2
     assert "--suite pop" in capsys.readouterr().err
+
+
+def test_e2e_bench_records_and_speedup():
+    from repro.perf import run_e2e_bench
+
+    records = run_e2e_bench(profile="smoke")
+    by_name = {r["name"]: r for r in records}
+    assert {"e2e-8core-cold", "e2e-8core-warm", "e2e-8core-panels",
+            "e2e-8core-confidence"} == set(by_name)
+    for record in records:
+        assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SIM_EXTRA_KEYS
+        assert record["seconds"] > 0
+        assert record["backend"] == "analytic"
+    # The smoke frame rank-samples the 6-benchmark 8-core population.
+    assert by_name["e2e-8core-cold"]["population_size"] == 1000
+    assert by_name["e2e-8core-cold"]["draws"] == 200
+    # The warm pipeline skips all training (asserted inside the
+    # harness) and must beat the cold one decisively.
+    ratios = speedups(records)
+    assert ratios["e2e-8core"] > 2
+
+
+def test_cli_bench_e2e_suite(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--profile", "smoke", "--suite", "e2e",
+                 "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert any(r["name"] == "e2e-8core-warm" for r in payload)
+    assert "speedup e2e-8core" in capsys.readouterr().out
