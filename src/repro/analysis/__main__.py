@@ -1,0 +1,12 @@
+"""``python -m repro.analysis`` -- the linter without the full CLI.
+
+Delegates to the same implementation as ``repro lint``; see
+:func:`repro.cli.main`.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["lint"] + sys.argv[1:]))

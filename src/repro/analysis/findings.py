@@ -1,0 +1,47 @@
+"""Finding records and their text / JSON renderings."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: file the finding is in (repo-relative where possible).
+        line: 1-based line number.
+        rule: rule identifier (``REP001`` .. ``REP007``; ``REP000`` for
+            problems with the lint machinery itself, e.g. a suppression
+            without a justification).
+        message: human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def to_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line: RULE message`` line per finding plus a summary."""
+    lines: List[str] = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def to_json(findings: Sequence[Finding]) -> str:
+    """A JSON array of finding objects (stable field order)."""
+    payload = [
+        {"path": f.path, "line": f.line, "rule": f.rule,
+         "message": f.message}
+        for f in findings
+    ]
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,122 @@
+"""Rule base class, the rule registry, and the sources rules consume."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.analysis.findings import Finding
+
+
+class ModuleSource:
+    """One parsed source file, shared by every rule that inspects it.
+
+    Parsing and the parent map are lazy and memoised so a file is read
+    and parsed once per lint run no matter how many rules look at it.
+    """
+
+    def __init__(self, path: Path, text: str,
+                 display: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.text = text
+        self.display = display if display is not None else str(path)
+        self._tree: Optional[ast.Module] = None
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @classmethod
+    def read(cls, path: Path, root: Optional[Path] = None) -> "ModuleSource":
+        path = Path(path)
+        display = str(path)
+        if root is not None:
+            try:
+                display = str(path.relative_to(root))
+            except ValueError:
+                pass
+        return cls(path, path.read_text(), display)
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed module (raises ``SyntaxError`` on broken files)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child -> parent map over the whole tree (for context checks)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def finding(self, rule: str, line: int, message: str) -> Finding:
+        return Finding(self.display, line, rule, message)
+
+
+class Project:
+    """Everything a cross-file rule may need: sources plus test texts.
+
+    ``tests`` carries raw text only -- reference checks (does any test
+    mention this name?) are textual by design, so fixture snippets
+    inside test strings count as coverage anchors too.
+    """
+
+    def __init__(self, modules: Sequence[ModuleSource],
+                 tests: Sequence[ModuleSource] = ()) -> None:
+        self.modules = list(modules)
+        self.tests = list(tests)
+
+    def tests_mention(self, name: str) -> bool:
+        """Whether any test file contains ``name`` as a whole word."""
+        import re
+
+        pattern = re.compile(rf"\b{re.escape(name)}\b")
+        return any(pattern.search(test.text) for test in self.tests)
+
+
+class Rule:
+    """Base class: override :meth:`check_module`, :meth:`check_project`,
+    or both.
+
+    Attributes:
+        id: stable identifier (``REPnnn``), used in output and in
+            ``allow[...]`` suppressions.
+        name: short kebab-case label.
+        motivation: one line on the historical bug / upcoming need the
+            rule guards against (shown by ``repro lint --rules``).
+    """
+
+    id = "REP000"
+    name = "base"
+    motivation = ""
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        """Per-file findings (most rules)."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Whole-tree findings (cross-file rules such as parity-pair)."""
+        return ()
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the default rule set."""
+    if any(existing.id == cls.id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    # Importing the rules module populates the registry on first use.
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [cls() for cls in sorted(_REGISTRY, key=lambda c: c.id)]

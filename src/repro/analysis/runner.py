@@ -1,0 +1,81 @@
+"""The lint driver: walk files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleSource, Project, Rule, all_rules
+from repro.analysis.suppress import Suppressions
+
+PathLike = Union[str, Path]
+
+
+def iter_python_files(root: PathLike) -> List[Path]:
+    """Every ``.py`` file under ``root`` (or ``root`` itself), sorted."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    return sorted(path for path in root.rglob("*.py")
+                  if "__pycache__" not in path.parts)
+
+
+def load_sources(paths: Iterable[PathLike],
+                 display_root: Optional[PathLike] = None
+                 ) -> List[ModuleSource]:
+    root = Path(display_root) if display_root is not None else None
+    modules: List[ModuleSource] = []
+    for path in paths:
+        for file in iter_python_files(path):
+            modules.append(ModuleSource.read(file, root))
+    return modules
+
+
+def lint_project(project: Project,
+                 rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """All findings over a project, suppressed and sorted.
+
+    Suppression comments apply to per-file *and* cross-file findings
+    (both carry real source locations).  Problems with the suppressions
+    themselves -- no reason given, unknown rule id -- surface as
+    ``REP000`` and are deliberately not suppressible.
+    """
+    if rules is None:
+        rules = all_rules()
+    known = frozenset(rule.id for rule in rules)
+    raw: List[Finding] = []
+    meta: List[Finding] = []
+    suppressions = {}
+    for module in project.modules:
+        suppressions[module.display] = Suppressions.scan(module.text)
+        for line, message in \
+                suppressions[module.display].problems(known):
+            meta.append(Finding(module.display, line, "REP000", message))
+        try:
+            module.tree
+        except SyntaxError as error:
+            meta.append(Finding(module.display, error.lineno or 1, "REP000",
+                                f"syntax error: {error.msg}"))
+            continue
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+    kept = [finding for finding in raw
+            if not suppressions.get(finding.path,
+                                    Suppressions([])).allows(finding.line,
+                                                             finding.rule)]
+    return sorted(set(kept + meta))
+
+
+def lint_paths(src_paths: Sequence[PathLike],
+               tests_root: Optional[PathLike] = None,
+               display_root: Optional[PathLike] = None,
+               rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint source trees, with an optional tests tree for reference
+    checks (REP004 needs to know what the tests mention)."""
+    modules = load_sources(src_paths, display_root)
+    tests = (load_sources([tests_root], display_root)
+             if tests_root is not None else [])
+    return lint_project(Project(modules, tests), rules)

@@ -1,0 +1,127 @@
+"""``# repro: allow[REP00x] reason`` suppression comments.
+
+A finding is suppressed by a comment naming its rule id, either
+trailing the offending line::
+
+    return hash(self._benchmarks)  # repro: allow[REP002] equality only
+
+or standing alone on the line immediately above it::
+
+    # repro: allow[REP005] bench output, single writer by construction
+    Path(path).write_text(...)
+
+Several ids may share one comment (``allow[REP002,REP006]``).  The
+reason text is mandatory: an ``allow`` without a written justification
+is itself reported (as ``REP000``) and cannot be suppressed -- the
+whole point is that every exception carries its argument in the code.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+_ALLOW = re.compile(
+    r"#\s*repro:\s*allow\[\s*([A-Za-z0-9_,\s]*)\s*\]\s*(.*)$")
+#: What a well-formed rule id looks like (REP000 is reserved).
+_RULE_ID = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int                      #: line the comment sits on
+    target_line: int               #: line the suppression applies to
+    rules: FrozenSet[str]
+    reason: str
+
+
+class Suppressions:
+    """All ``allow`` comments of one file, queryable by line."""
+
+    def __init__(self, entries: List[Suppression]) -> None:
+        self.entries = entries
+        self._by_target: Dict[int, Set[str]] = {}
+        for entry in entries:
+            self._by_target.setdefault(entry.target_line,
+                                       set()).update(entry.rules)
+
+    @classmethod
+    def scan(cls, text: str) -> "Suppressions":
+        """Parse every ``allow`` comment in a source file.
+
+        A comment that is the only thing on its line targets the next
+        line; a trailing comment targets its own line.  Tokenization
+        keeps ``#`` inside string literals from being misread.
+        """
+        entries: List[Suppression] = []
+        lines = text.splitlines()
+
+        def next_code_line(line: int) -> int:
+            """First line after ``line`` that is not blank or comment,
+            so an allow atop a comment block reaches the code below."""
+            target = line + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+            return target
+
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        try:
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _ALLOW.search(token.string)
+                if match is None:
+                    continue
+                ids = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip())
+                reason = match.group(2).strip()
+                line = token.start[0]
+                standalone = token.line[:token.start[1]].strip() == ""
+                entries.append(Suppression(
+                    line=line,
+                    target_line=next_code_line(line) if standalone else line,
+                    rules=ids, reason=reason))
+        except tokenize.TokenError:
+            pass        # unterminated source; the runner reports it
+        return cls(entries)
+
+    def allows(self, line: int, rule: str) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is suppressed."""
+        return rule in self._by_target.get(line, ())
+
+    def problems(self, known_rules: FrozenSet[str]) -> List[Tuple[int, str]]:
+        """Malformed suppressions: ``(line, message)`` pairs.
+
+        Reported as ``REP000`` by the runner and deliberately not
+        themselves suppressible.
+        """
+        issues: List[Tuple[int, str]] = []
+        for entry in self.entries:
+            if not entry.rules:
+                issues.append((entry.line,
+                               "allow[] names no rule id"))
+                continue
+            for rule in sorted(entry.rules):
+                if not _RULE_ID.match(rule):
+                    issues.append(
+                        (entry.line,
+                         f"malformed rule id {rule!r} in allow[...]"))
+                elif rule not in known_rules:
+                    issues.append(
+                        (entry.line,
+                         f"unknown rule id {rule!r} in allow[...]"))
+            if not entry.reason:
+                issues.append(
+                    (entry.line,
+                     "suppression without a justification: write "
+                     "`# repro: allow[REP00x] <why this is safe>`"))
+        return issues

@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import ClassVar, FrozenSet, Optional, Union
 
 from repro.bench.generator import DEFAULT_TRACE_LENGTH
 
@@ -62,6 +62,18 @@ class CampaignConfig:
     jobs: int = 1
     cache_dir: Optional[Union[str, Path]] = None
     model_store_dir: Optional[Union[str, Path]] = None
+
+    #: Fields that deliberately do NOT participate in :attr:`cache_key`:
+    #: execution/storage knobs that must never change results.  Every
+    #: field must either be read by ``cache_key`` or appear here -- the
+    #: ``REP003`` cache-key-drift lint rule enforces the partition, so
+    #: adding a field without classifying it fails ``repro lint`` (and
+    #: ``tests/test_api.py`` keeps this list in sync with the fields).
+    _SIGNATURE_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset({
+        "jobs",             # parallelism is bit-identical by contract
+        "cache_dir",        # a storage location, not a parameter
+        "model_store_dir",  # stored artefacts round-trip bit-identically
+    })
 
     def __post_init__(self) -> None:
         if self.cores < 1:

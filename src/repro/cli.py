@@ -16,7 +16,12 @@ Commands:
 - ``plan``         -- apply the Section VII guideline to a cv value;
 - ``experiment``   -- run one of the paper's table/figure drivers;
 - ``bench``        -- time the analytics hot paths (scalar vs columnar)
-                      and write ``BENCH_analytics.json``.
+                      and write ``BENCH_analytics.json``;
+- ``lint``         -- run the project's AST invariant linter (unseeded
+                      RNGs, salted hashes, cache-key drift, parity
+                      pairs, non-atomic writes, wall-clock keys, set
+                      iteration order) over the source tree; exits
+                      nonzero on findings.
 """
 
 from __future__ import annotations
@@ -55,7 +60,7 @@ def _parse_scale(value: str) -> Scale:
         return Scale(value.lower())
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"scale must be small, medium or full (got {value!r})")
+            f"scale must be small, medium or full (got {value!r})") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="population core count (overrides the profile)")
     bench.add_argument("--output", default="BENCH_analytics.json",
                        help="result file ('' to skip writing)")
+
+    lint = sub.add_parser(
+        "lint", help="run the repro invariant linter (REP001..REP007)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--tests", default=None,
+                      help="tests directory for reference checks such as "
+                           "REP004 parity-pair (default: the `tests` "
+                           "directory next to the source tree, if any)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the rules and their motivations, then "
+                           "exit")
     return parser
 
 
@@ -301,6 +321,37 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import all_rules, lint_paths, to_json, to_text
+
+    if args.rules:
+        for rule in all_rules():
+            print(f"{rule.id} {rule.name}: {rule.motivation}")
+        return 0
+    package_root = Path(repro.__file__).resolve().parent
+    if args.paths:
+        src_paths = [Path(p) for p in args.paths]
+        display_root = Path.cwd()
+    else:
+        src_paths = [package_root]
+        display_root = package_root.parent.parent
+    if args.tests is not None:
+        tests_root = Path(args.tests) if args.tests else None
+    else:
+        candidate = package_root.parent.parent / "tests"
+        tests_root = candidate if candidate.is_dir() else None
+    findings = lint_paths(src_paths, tests_root=tests_root,
+                          display_root=display_root)
+    if args.format == "json":
+        print(to_json(findings))
+    else:
+        print(to_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_experiment(args) -> int:
     import importlib
     import inspect
@@ -354,6 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": lambda: _cmd_plan(args),
         "experiment": lambda: _cmd_experiment(args),
         "bench": lambda: _cmd_bench(args),
+        "lint": lambda: _cmd_lint(args),
     }
     try:
         return handlers[args.command]()

@@ -1,0 +1,57 @@
+"""Atomic file writes: the temp + ``os.replace`` idiom, shared.
+
+Every persistent artefact in the project -- campaign JSON caches and
+their npz twins, model-store entries, bench trajectories -- must be
+written atomically so that concurrent readers (and the planned
+estimation daemon's resident panels) never observe a torn file.  POSIX
+``rename``/``replace`` within one directory is atomic, so the idiom is:
+write the full payload to a temp file *next to* the final path, then
+``os.replace`` it into place.  The temp name carries the writer's pid
+so parallel campaigns sharing a directory never collide on it.
+
+This module is the one place that idiom lives; the ``REP005``
+non-atomic-write lint rule (:mod:`repro.analysis.rules`) fails any
+write to a final path that bypasses it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+
+@contextmanager
+def atomic_open(path: Union[str, Path], mode: str = "wb") -> Iterator[IO]:
+    """Open a temp file that replaces ``path`` on a clean exit.
+
+    The parent directory is created if needed.  On an exception the
+    temp file is removed and the final path is left untouched; on
+    success the replace is atomic, so readers see either the old
+    content or the complete new content, never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # repro: allow[REP006] the pid names only the temp file, to keep
+    # parallel writers from colliding; os.replace strips it from the
+    # final path, so no persistent name or key ever contains it.
+    temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(temporary, mode) as handle:
+            yield handle
+        os.replace(temporary, path)
+    finally:
+        if temporary.exists():      # pragma: no cover - failed replace
+            temporary.unlink()
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    atomic_write_bytes(path, text.encode("utf-8"))

@@ -11,6 +11,7 @@ multi-core memory contention arises in the simulators.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -48,8 +49,8 @@ class MemoryInterface:
     write buffer).
     """
 
-    def __init__(self, config: MemoryConfig = MemoryConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[MemoryConfig] = None) -> None:
+        self.config = config if config is not None else MemoryConfig()
         self.reads = 0
         self.writes = 0
         self.busy_cycles = 0

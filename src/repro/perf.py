@@ -48,6 +48,7 @@ from repro.bench.spec import benchmark_names
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import WSU
+from repro.ioutil import atomic_write_text
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling import (
     BenchmarkStratification,
@@ -446,4 +447,4 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
 
 
 def write_bench(path: Path, records: List[Dict[str, object]]) -> None:
-    Path(path).write_text(json.dumps(records, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(records, indent=2) + "\n")

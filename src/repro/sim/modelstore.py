@@ -32,13 +32,13 @@ from __future__ import annotations
 import hashlib
 import io
 import json
-import os
 import zipfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.ioutil import atomic_write_bytes
 from repro.sim.badco.model import BadcoModel, BadcoNode
 
 #: Store format revision, part of every file name.  Bump whenever the
@@ -96,14 +96,7 @@ class ModelStore:
         return self.root / f"{stem}-v{MODELSTORE_VERSION}{suffix}"
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            temporary.write_bytes(data)
-            os.replace(temporary, path)
-        finally:
-            if temporary.exists():     # pragma: no cover - failed replace
-                temporary.unlink()
+        atomic_write_bytes(path, data)
 
     # ------------------------------------------------------------------
     # BADCO node models

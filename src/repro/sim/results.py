@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.workload import Workload
+from repro.ioutil import atomic_open, atomic_write_text
 
 IpcVector = List[float]
 
@@ -286,7 +287,7 @@ class PopulationResults:
         return results
 
     def save(self, path: Path) -> None:
-        Path(path).write_text(self.to_json())
+        atomic_write_text(path, self.to_json())
 
     @staticmethod
     def load(path: Path) -> "PopulationResults":
@@ -328,7 +329,7 @@ class PopulationResults:
                 panel = panel.reshape(len(rows), self.cores)
             arrays[f"workloads_{number}"] = np.array(keys, dtype=str)
             arrays[f"ipcs_{number}"] = panel
-        with open(path, "wb") as handle:
+        with atomic_open(path, "wb") as handle:
             np.savez_compressed(handle, **arrays)
 
     @staticmethod

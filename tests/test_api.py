@@ -121,6 +121,36 @@ def test_cache_key_is_stable_and_excludes_execution_knobs(tmp_path):
     assert config.replace(warmup_fraction=0.5).cache_key != config.cache_key
 
 
+def test_signature_exclude_partitions_the_fields(tmp_path):
+    """_SIGNATURE_EXCLUDE and the key fields exactly cover the config.
+
+    The static side of this contract is REP003 (cache-key-drift) in
+    ``repro.analysis``; this is the dynamic side: every non-excluded
+    field changes the cache key when its value changes, and every
+    excluded field does not.
+    """
+    import dataclasses
+
+    names = {field.name for field in dataclasses.fields(CampaignConfig)}
+    exclude = CampaignConfig._SIGNATURE_EXCLUDE
+    assert exclude <= names, "stale names in _SIGNATURE_EXCLUDE"
+    changed = {
+        "backend": "interval", "cores": 5, "trace_length": 4321,
+        "seed": 99, "warmup_fraction": 0.5, "jobs": 6,
+        "cache_dir": tmp_path, "model_store_dir": tmp_path,
+    }
+    assert set(changed) == names, (
+        "new CampaignConfig field: classify it in _SIGNATURE_EXCLUDE "
+        "or the cache key, then extend this test's changed-value map")
+    base = CampaignConfig()
+    for name in sorted(names):
+        variant = base.replace(**{name: changed[name]})
+        if name in exclude:
+            assert variant.cache_key == base.cache_key, name
+        else:
+            assert variant.cache_key != base.cache_key, name
+
+
 def test_config_cache_path_is_versioned(tmp_path):
     config = CampaignConfig(backend="detailed", cores=4, trace_length=3000,
                             seed=7, warmup_fraction=0.25, cache_dir=tmp_path)

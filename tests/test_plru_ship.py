@@ -80,9 +80,9 @@ def _streaming_with_reuse(reuse_lines=64, stream_lines=4096, repeats=12):
     reuse = [i * 64 for i in range(reuse_lines)]
     pattern = []
     stream_at = 10_000_000
-    for r in range(repeats):
+    for _ in range(repeats):
         rng.shuffle(reuse)
-        for i, address in enumerate(reuse):
+        for address in reuse:
             pattern.append(address)
             pattern.append(stream_at)
             stream_at += 64
