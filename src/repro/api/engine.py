@@ -294,13 +294,38 @@ class Campaign:
         workers = min(self.config.jobs, cells)
         # Policy-axis backends collapse the per-policy loop into one
         # N x P x K dispatch whenever every policy has the same pending
-        # rows (the common case: a fresh or uniformly-cached grid);
-        # ragged caches fall back to per-policy batches.
-        if (backend_supports_policy_axis(self.backend) and len(pending) > 1
-                and all(todo == pending[0][1] for _, todo in pending[1:])):
-            return self._run_grid_policy_axis(pending[0][1],
-                                              [p for p, _ in pending],
-                                              workers)
+        # rows (the common case: a fresh or uniformly-cached grid).
+        # Ragged caches grid-dispatch the rows every policy still
+        # shares, then finish the per-policy remainders below.
+        if backend_supports_policy_axis(self.backend) and len(pending) > 1:
+            if all(todo == pending[0][1] for _, todo in pending[1:]):
+                return self._run_grid_policy_axis(pending[0][1],
+                                                  [p for p, _ in pending],
+                                                  workers)
+            shared_keys = set(pending[0][1])
+            for _, todo in pending[1:]:
+                shared_keys &= set(todo)
+            if shared_keys:
+                shared = [w for w in pending[0][1] if w in shared_keys]
+                self._run_grid_policy_axis(shared,
+                                           [p for p, _ in pending],
+                                           workers)
+                pending = [(policy,
+                            [w for w in todo if w not in shared_keys])
+                           for policy, todo in pending]
+                pending = [(policy, todo) for policy, todo in pending
+                           if todo]
+                if not pending:
+                    return self.results
+                cells = sum(len(todo) for _, todo in pending)
+                workers = min(self.config.jobs, cells)
+                # Remainders are often uniform among themselves (one
+                # policy was cached, the rest share its missing rows).
+                if (len(pending) > 1
+                        and all(todo == pending[0][1]
+                                for _, todo in pending[1:])):
+                    return self._run_grid_policy_axis(
+                        pending[0][1], [p for p, _ in pending], workers)
         if workers <= 1:
             for policy, todo in pending:
                 run = self._make_simulator(policy).run_batch(todo)

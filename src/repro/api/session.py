@@ -76,6 +76,8 @@ class FullScaleEstimate:
         num_strata: workload strata built from the d(w) column.
         inverse_cv: 1/cv of d(w) over the frame (the Fig. 4/5 bar).
         sample_sizes: the W values of the confidence curves.
+        fast_sampling: whether the confidence draws took the opt-in
+            fast (non-bit-compatible) sampling path.
         confidence: per sampling-method confidence curve values.
         training_runs: BADCO trainings + analytic calibrations/probes
             performed during this call (0 == fully warm store).
@@ -95,6 +97,7 @@ class FullScaleEstimate:
     num_strata: int
     inverse_cv: float
     sample_sizes: Tuple[int, ...]
+    fast_sampling: bool = False
     confidence: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
     training_runs: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
@@ -113,6 +116,9 @@ class FullScaleEstimate:
             f"  training/calibration runs this call: {self.training_runs}"
             + ("  (warm model store)" if self.training_runs == 0 else ""),
         ]
+        if self.fast_sampling:
+            lines.append("  sampling: fast path (not bit-compatible with "
+                         "the seeded MT draws)")
         lines.append(f"  {'W':>6}  " + "  ".join(
             f"{name:>16}" for name in self.confidence))
         for i, size in enumerate(self.sample_sizes):
@@ -148,17 +154,28 @@ class Session:
             ``models/`` subdirectory of the cache), an empty string
             disables it.
         benchmarks: benchmark suite (default: the 22 SPEC stand-ins).
+        fast_sampling: default for the session's confidence
+            estimations: take the opt-in fast (non-bit-compatible)
+            sampling path (see
+            :mod:`repro.core.sampling.fastpath`).  ``None`` reads the
+            ``REPRO_FAST_SAMPLING`` environment override (off unless
+            set truthy).
     """
 
     def __init__(self, scale: ScaleLike = Scale.MEDIUM, *, seed: int = 0,
                  jobs: int = 1, backend: str = "badco",
                  cache_dir: Optional[Path] = None,
                  model_store_dir: Optional[Union[str, Path]] = None,
-                 benchmarks: Optional[Sequence[str]] = None) -> None:
+                 benchmarks: Optional[Sequence[str]] = None,
+                 fast_sampling: Optional[bool] = None) -> None:
+        from repro.core.sampling.fastpath import fast_sampling_default
+
         self.scale = coerce_scale(scale)
         self.parameters: ScaleParameters = scale_parameters(self.scale)
         self.seed = seed
         self.jobs = jobs
+        self.fast_sampling = (fast_sampling_default()
+                              if fast_sampling is None else fast_sampling)
         self.backend = get_backend(backend).name
         self.cache_dir = (cache_dir if cache_dir is not None
                           else default_cache_dir())
@@ -323,7 +340,8 @@ class Session:
                             draws: Optional[int] = None,
                             sample_sizes: Sequence[int] = (10, 30, 100),
                             min_stratum: Optional[int] = None,
-                            backend: Optional[str] = None
+                            backend: Optional[str] = None,
+                            fast_sampling: Optional[bool] = None
                             ) -> FullScaleEstimate:
         """The paper's full-scale scenario, end to end.
 
@@ -351,6 +369,9 @@ class Session:
                 paper's 50, raised to frame/40 for large frames).
             backend: batch-capable simulator backend (default
                 ``analytic``).
+            fast_sampling: take the fast (non-bit-compatible) draw
+                path for the confidence phase; ``None`` inherits the
+                session default (itself ``REPRO_FAST_SAMPLING``-aware).
 
         Returns:
             A :class:`FullScaleEstimate` report.
@@ -402,9 +423,12 @@ class Session:
             min_stratum = max(DEFAULT_MIN_STRATUM, len(population) // 40)
         stratifier = WorkloadStratification.from_column(
             delta, min_stratum=min_stratum)
+        if fast_sampling is None:
+            fast_sampling = self.fast_sampling
         estimator = ConfidenceEstimator(
             population, delta,
-            draws=draws if draws is not None else self.parameters.draws)
+            draws=draws if draws is not None else self.parameters.draws,
+            fast_sampling=fast_sampling)
         confidence = {}
         for method in (SimpleRandomSampling(), stratifier):
             curve = estimator.curve(method, tuple(sample_sizes),
@@ -420,7 +444,8 @@ class Session:
             sampled=not population.is_exhaustive,
             draws=estimator.draws, num_strata=stratifier.num_strata,
             inverse_cv=statistics.inverse_cv,
-            sample_sizes=tuple(sample_sizes), confidence=confidence,
+            sample_sizes=tuple(sample_sizes),
+            fast_sampling=estimator.fast_sampling, confidence=confidence,
             training_runs=training_runs, timings=timings)
 
     @staticmethod

@@ -121,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--model-store", default=None,
                           help="directory for persisted trained models "
                                "(default: <cache>/models, '' disables)")
+    estimate.add_argument("--fast-sampling", action="store_const",
+                          const=True, default=None, dest="fast_sampling",
+                          help="opt into the fast, non-bit-compatible "
+                               "confidence draws (default: off, or the "
+                               "REPRO_FAST_SAMPLING env override)")
 
     plan = sub.add_parser("plan", help="Section VII guideline for a cv")
     plan.add_argument("cv", type=float)
@@ -164,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result file ('' to skip writing)")
 
     lint = sub.add_parser(
-        "lint", help="run the repro invariant linter (REP001..REP007)")
+        "lint", help="run the repro invariant linter (REP001..REP008)")
     lint.add_argument("paths", nargs="*",
                       help="files or directories to lint (default: the "
                            "installed repro package source)")
@@ -250,7 +255,8 @@ def _cmd_estimate(args) -> int:
         print(error, file=sys.stderr)
         return 2
     session = Session(args.scale, jobs=args.jobs, backend=backend,
-                      model_store_dir=args.model_store)
+                      model_store_dir=args.model_store,
+                      fast_sampling=args.fast_sampling)
     try:
         estimate = session.estimate_full_scale(
             args.baseline, args.candidate, metric=args.metric,

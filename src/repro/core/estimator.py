@@ -33,7 +33,12 @@ from repro.core.columnar import (
 )
 from repro.core.metrics import _row_dot
 from repro.core.population import WorkloadPopulation
-from repro.core.sampling.base import SamplingMethod, SamplingPlan
+from repro.core.sampling.base import (
+    SamplingMethod,
+    SamplingPlan,
+    has_fast_path,
+)
+from repro.core.sampling.fastpath import fast_generator
 from repro.core.workload import Workload
 
 
@@ -43,6 +48,20 @@ def _population_index(population: WorkloadPopulation) -> WorkloadIndex:
     if isinstance(index, WorkloadIndex):
         return index
     return WorkloadIndex.from_population(population)
+
+
+def _draw_rows(plan: SamplingPlan, size: int, draws: int, seed: int,
+               fast_sampling: bool):
+    """One (size, seed) row batch: fast path when opted in + supported.
+
+    Both the MT stream (``random.Random((seed << 16) ^ size)``) and the
+    fast generator are derived fresh per point, so batched curves equal
+    per-point calls on either path.
+    """
+    if fast_sampling and has_fast_path(plan):
+        return plan.rows_matrix_fast(size, draws, fast_generator(seed, size))
+    rng = random.Random((seed << 16) ^ size)
+    return plan.rows_matrix(size, draws, rng)
 
 
 @dataclass(frozen=True)
@@ -71,10 +90,15 @@ class ConfidenceEstimator:
             needs this table.
         draws: number of independent samples per (method, size) point;
             the paper uses 1000 (model validation) to 10000 (Fig. 6).
+        fast_sampling: opt into the fast, non-bit-compatible draw path
+            (:mod:`repro.core.sampling.fastpath`) for methods whose
+            plans support it; methods without a fast path -- and the
+            scalar fallback -- keep the bit-compatible MT streams.
+            Defaults to off: the MT replay stays the parity oracle.
     """
 
     def __init__(self, population: WorkloadPopulation, delta: DeltaLike,
-                 draws: int = 1000) -> None:
+                 draws: int = 1000, fast_sampling: bool = False) -> None:
         self.population = population
         if isinstance(delta, DeltaColumn):
             if not delta.index.same_rows(_population_index(population)):
@@ -88,6 +112,7 @@ class ConfidenceEstimator:
         # every missing workload (not an O(N) membership scan).
         self.column = as_delta_column(self.index, delta)
         self.draws = draws
+        self.fast_sampling = fast_sampling
         self._delta_mapping: Optional[Dict[Workload, float]] = None
         # Keyed by identity but pinning the method object: an id() can
         # be reused once its owner is garbage collected.
@@ -113,8 +138,8 @@ class ConfidenceEstimator:
         plan = self._plan_for(method)
         if plan is None:            # method without a columnar path
             return self.confidence_scalar(method, sample_size, seed=seed)
-        rng = random.Random((seed << 16) ^ sample_size)
-        rows, weights = plan.rows_matrix(sample_size, self.draws, rng)
+        rows, weights = _draw_rows(plan, sample_size, self.draws, seed,
+                                   self.fast_sampling)
         # _row_dot is bit-identical to WeightedSample.weighted_mean
         # applied per row (left-to-right product accumulation).
         means = _row_dot(self.column.values[rows], weights)
@@ -156,10 +181,9 @@ class ConfidenceEstimator:
                       for size in sample_sizes]
             return ConfidenceCurve(method.name, tuple(sample_sizes),
                                    tuple(values))
-        batches = []
-        for size in sample_sizes:
-            rng = random.Random((seed << 16) ^ size)
-            batches.append(plan.rows_matrix(size, self.draws, rng))
+        batches = [_draw_rows(plan, size, self.draws, seed,
+                              self.fast_sampling)
+                   for size in sample_sizes]
         gathered = self.column.values[
             np.concatenate([rows for rows, _ in batches], axis=1)]
         values = []
@@ -196,11 +220,13 @@ class PairedConfidenceEstimator:
             the caller's pair labels; all must align with the
             population's row order.
         draws: Monte-Carlo resamples per (method, size) point.
+        fast_sampling: opt into the fast, non-bit-compatible draw path
+            (same contract as :class:`ConfidenceEstimator`).
     """
 
     def __init__(self, population: WorkloadPopulation,
                  deltas: "Dict[object, DeltaLike]",
-                 draws: int = 1000) -> None:
+                 draws: int = 1000, fast_sampling: bool = False) -> None:
         if not deltas:
             raise ValueError("no delta columns given")
         self.population = population
@@ -211,6 +237,7 @@ class PairedConfidenceEstimator:
         self.stacked = np.column_stack(
             [column.values for column in self.columns.values()])
         self.draws = draws
+        self.fast_sampling = fast_sampling
         self._plans: Dict[int, tuple] = {}
 
     def _plan_for(self, method: SamplingMethod) -> Optional[SamplingPlan]:
@@ -226,8 +253,9 @@ class PairedConfidenceEstimator:
         """Per-pair fallback for methods without a columnar plan."""
         out = {}
         for key, column in self.columns.items():
-            estimator = ConfidenceEstimator(self.population, column,
-                                            draws=self.draws)
+            estimator = ConfidenceEstimator(
+                self.population, column, draws=self.draws,
+                fast_sampling=self.fast_sampling)
             out[key] = estimator.curve(method, sample_sizes, seed=seed)
         return out
 
@@ -249,10 +277,9 @@ class PairedConfidenceEstimator:
         plan = self._plan_for(method)
         if plan is None or not sample_sizes:
             return self._scalar_curves(method, sample_sizes, seed)
-        batches = []
-        for size in sample_sizes:
-            rng = random.Random((seed << 16) ^ size)
-            batches.append(plan.rows_matrix(size, self.draws, rng))
+        batches = [_draw_rows(plan, size, self.draws, seed,
+                              self.fast_sampling)
+                   for size in sample_sizes]
         # One gather for all sizes and all pairs: (draws, sum sizes, P).
         gathered = self.stacked[
             np.concatenate([rows for rows, _ in batches], axis=1)]
@@ -271,4 +298,81 @@ class PairedConfidenceEstimator:
                            for wins in wins_per_pair)
             out[key] = ConfidenceCurve(method.name, tuple(sample_sizes),
                                        values)
+        return out
+
+    def _fallback_pair_curves(self, methods: "Dict[object, SamplingMethod]",
+                              sample_sizes: Sequence[int],
+                              seed: int) -> Dict[object, ConfidenceCurve]:
+        """Per-pair loop: the reference `pair_curves` batches against."""
+        out = {}
+        for key, column in self.columns.items():
+            estimator = ConfidenceEstimator(
+                self.population, column, draws=self.draws,
+                fast_sampling=self.fast_sampling)
+            out[key] = estimator.curve(methods[key], sample_sizes, seed=seed)
+        return out
+
+    def pair_curves(self, methods: "Dict[object, SamplingMethod]",
+                    sample_sizes: Sequence[int],
+                    seed: int = 0) -> Dict[object, ConfidenceCurve]:
+        """Curves for *pair-dependent* methods, batched across pairs.
+
+        :meth:`curve` exploits that pair-independent methods share one
+        row matrix across pairs.  Workload stratification does not: its
+        strata derive from each pair's own d(w), so every pair has its
+        own method instance and its own rows.  This path still shares
+        the work that *can* be shared -- the d(w) gather and the
+        weighted-mean reduction run once over a ``(draws, W, P)`` block
+        instead of P separate 2-D passes.
+
+        Per pair the results are bit-identical to running that pair's
+        method through a separate :class:`ConfidenceEstimator`: each
+        (pair, size) point draws from its own fresh RNG stream exactly
+        as the single-pair path does, and the reduction's element-wise
+        accumulation order is unchanged (the trailing pair axis only
+        broadcasts).  Pairs whose plans emit ragged widths for a size
+        -- impossible for the built-in methods, which always emit
+        exactly ``size`` slots -- fall back to the per-pair loop, as do
+        methods without a columnar plan.
+
+        Args:
+            methods: one sampling method per pair, keyed exactly like
+                the constructor's ``deltas``.
+            sample_sizes: the curve's sample sizes.
+            seed: base seed, as in :meth:`curve`.
+        """
+        if set(methods) != set(self.columns):
+            raise ValueError("need exactly one sampling method per pair")
+        plans = {key: methods[key].plan(self.index, self.population)
+                 for key in self.columns}
+        if not sample_sizes or any(p is None for p in plans.values()):
+            return self._fallback_pair_curves(methods, sample_sizes, seed)
+        keys = list(self.columns)
+        batches = []        # per size: (draws, W, P) rows, (W, P) weights
+        for size in sample_sizes:
+            drawn = [_draw_rows(plans[key], size, self.draws, seed,
+                                self.fast_sampling) for key in keys]
+            if len({rows.shape[1] for rows, _ in drawn}) != 1:
+                return self._fallback_pair_curves(methods, sample_sizes,
+                                                  seed)
+            batches.append((np.stack([rows for rows, _ in drawn], axis=2),
+                            np.stack([w for _, w in drawn], axis=1)))
+        # One gather for all sizes: stacked[rows[d, s, p], p].
+        pair_axis = np.arange(len(keys))
+        gathered = self.stacked[
+            np.concatenate([rows for rows, _ in batches], axis=1),
+            pair_axis]
+        wins_per_pair = []
+        column = 0
+        for rows, weights in batches:
+            span = gathered[:, column:column + rows.shape[1], :]
+            column += rows.shape[1]
+            means = _row_dot(span, weights)
+            wins_per_pair.append(np.count_nonzero(means > 0.0, axis=0))
+        out = {}
+        for p, key in enumerate(keys):
+            values = tuple(int(wins[p]) / self.draws
+                           for wins in wins_per_pair)
+            out[key] = ConfidenceCurve(methods[key].name,
+                                       tuple(sample_sizes), values)
         return out

@@ -1,0 +1,126 @@
+"""Optional compiled kernels for the MT19937 replay's scan hot spots.
+
+The bit-identical replay (:mod:`repro.core.sampling.mtstream`) spends
+most of its time in three serial-scan shapes NumPy can only express as
+multi-pass array pipelines:
+
+- classifying every buffered word against a bound and collecting the
+  accepted positions (``mask`` / ``flatnonzero`` / fill -- three to
+  four passes over the buffer per bound);
+- the dense accepted-count prefix table (another full cumsum pass);
+- the per-draw walk through the composed advance map (a Python-level
+  loop, one interpreter round-trip per draw).
+
+Each has a single-pass loop formulation here, compiled with numba's
+``@njit`` when numba is importable.  numba is strictly an *optional*
+accelerator: the import is soft (the REP008 lint rule enforces the
+``try/except ImportError`` + fallback-symbol pattern), the pure-Python
+reference implementations (``*_py``) stay importable everywhere for
+parity testing, and every call site in ``mtstream`` selects between
+the compiled kernel and the plain NumPy expressions at call time via
+:func:`enabled` -- so results are bit-for-bit identical with or
+without numba, and environments without a compiler toolchain lose
+nothing but speed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+try:                            # numba is an optional accelerator --
+    from numba import njit      # never a hard dependency (REP008);
+except ImportError:             # call sites fall back to pure NumPy.
+    njit = None
+
+#: Set to ``0`` (or ``false`` / ``off``) to force the pure-NumPy scans
+#: even when numba is installed: bench A/B runs and debugging.
+KERNELS_ENV = "REPRO_SAMPLING_KERNELS"
+
+#: Whether the compiled kernels can exist in this environment at all.
+HAVE_NUMBA = njit is not None
+
+
+def enabled() -> bool:
+    """Call-time kernel gate: numba importable and not env-disabled."""
+    if classify_positions is None:
+        return False
+    value = os.environ.get(KERNELS_ENV, "").strip().lower()
+    return value not in ("0", "false", "off")
+
+
+def classify_positions_py(values: np.ndarray, bound: np.uint32,
+                          pad: int) -> Tuple[int, np.ndarray]:
+    """Fused bound classification + accepted-position scan.
+
+    One pass over ``values`` replaces ``mask = values < bound``,
+    ``flatnonzero(mask)`` and the one-past-position fill of
+    ``_Bound.__init__``.
+
+    Returns:
+        ``(count, positions1)`` where ``positions1`` has
+        ``count + pad + 1`` entries: one past each accepted word in
+        stream order, then ``pad + 1`` overflow sentinels
+        (``len(values) + 1``) -- bit-identical to the NumPy
+        construction.
+    """
+    length = values.shape[0]
+    table = np.empty(length + pad + 1, dtype=np.int64)
+    count = 0
+    for i in range(length):
+        if values[i] < bound:
+            table[count] = i + 1
+            count += 1
+    positions1 = table[:count + pad + 1]
+    positions1[count:] = length + 1
+    return count, positions1
+
+
+def prefix_table_py(values: np.ndarray, bound: np.uint32) -> np.ndarray:
+    """Dense accepted-count prefix table, one fused pass.
+
+    ``prefix[o]`` counts accepted words strictly before offset ``o``
+    (domain ``0 .. len(values) + 1``, the replay's offset space) --
+    bit-identical to the mask-view ``cumsum`` of
+    ``_Bound._prefix_table``, without materialising the mask.
+    """
+    length = values.shape[0]
+    prefix = np.empty(length + 2, dtype=np.int32)
+    prefix[0] = 0
+    count = np.int32(0)
+    for i in range(length):
+        if values[i] < bound:
+            count += 1
+        prefix[i + 1] = count
+    prefix[length + 1] = count
+    return prefix
+
+
+def walk_chain_py(advance: np.ndarray, draws: int,
+                  length: int) -> Tuple[np.ndarray, int]:
+    """The per-draw walk through the composed advance map.
+
+    Returns ``(starts, consumed)``; ``consumed`` is ``-1`` when a draw
+    ran past the buffer (offset beyond ``length``), mirroring the
+    replay's grow-and-retry protocol.
+    """
+    starts = np.empty(draws, dtype=np.int64)
+    cursor = 0
+    for draw in range(draws):
+        starts[draw] = cursor
+        cursor = advance[cursor]
+        if cursor > length:
+            return starts, -1
+    return starts, cursor
+
+
+if njit is not None:
+    classify_positions = njit(cache=True)(classify_positions_py)
+    prefix_table = njit(cache=True)(prefix_table_py)
+    walk_chain = njit(cache=True)(walk_chain_py)
+else:
+    classify_positions = None
+    prefix_table = None
+    walk_chain = None

@@ -105,8 +105,30 @@ class SamplingPlan:
         """
         raise NotImplementedError
 
+    def rows_matrix_fast(self, size: int, draws: int,
+                         rng: np.random.Generator
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """The opt-in fast draw path (NOT bit-compatible).
+
+        Same contract as :meth:`rows_matrix` -- same weights, same
+        per-stratum allocation, same marginal distributions -- but the
+        row indices come from a ``numpy.random.Generator`` uniform
+        block instead of the MT19937 replay, so for a given seed the
+        *specific* rows differ from the default path.  Only reached
+        when the estimator was built with ``fast_sampling=True``; plans
+        without an override simply never take the fast path (the
+        estimator checks :func:`has_fast_path` first).
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def has_fast_path(plan: Optional[SamplingPlan]) -> bool:
+    """Whether ``plan`` overrides :meth:`SamplingPlan.rows_matrix_fast`."""
+    return plan is not None and \
+        type(plan).rows_matrix_fast is not SamplingPlan.rows_matrix_fast
 
 
 class StratifiedRowPlan(SamplingPlan):
@@ -193,6 +215,39 @@ class StratifiedRowPlan(SamplingPlan):
                 # Selection-set / randrange indices address the stratum
                 # directly.
                 out[:, column:column + w_h] = rows[drawn]
+            column += w_h
+        return out, weights
+
+    def rows_matrix_fast(self, size: int, draws: int,
+                         rng: np.random.Generator
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fast draws: one uniform block, per-stratum inverse CDF.
+
+        Reuses the cached layout (identical strata, slot counts and
+        weights as the default path), then fills every stratum's slots
+        from one ``(draws, slots)`` uniform block: Floyd's distinct
+        sampling where the default path calls ``rng.sample``,
+        inverse-CDF with-replacement picks where it calls
+        ``randrange``.  Works even for frames the word-stream replay
+        cannot address (no 2**32 stratum limit).  Not bit-compatible
+        with :meth:`rows_matrix` -- see the ``fastpath`` module
+        docstring for the validation contract.
+        """
+        from repro.core.sampling.fastpath import (
+            floyd_distinct,
+            uniform_indices,
+        )
+
+        _chosen, weights, ops, arrays, _replayable = self._layout_for(size)
+        slots = len(weights)
+        block = rng.random((draws, slots))
+        out = np.empty((draws, slots), dtype=np.int64)
+        column = 0
+        for (kind, n_h, w_h), rows in zip(ops, arrays):
+            uniforms = block[:, column:column + w_h]
+            picks = (floyd_distinct(uniforms, n_h) if kind == "sample"
+                     else uniform_indices(uniforms, n_h))
+            out[:, column:column + w_h] = rows[picks]
             column += w_h
         return out, weights
 

@@ -1,0 +1,96 @@
+"""Opt-in fast sampling draws (not bit-compatible with the MT replay).
+
+The default draw path replays CPython's MT19937 ``random.sample`` /
+``shuffle`` streams bit for bit (:mod:`repro.core.sampling.mtstream`),
+which pays NumPy's serial-scan and gather constants on every bound of
+the schedule -- the measured ~4x floor on workload-stratified
+estimation.  This module provides the building blocks of the
+``fast_sampling=True`` path, which drops bit-compatibility and draws
+*everything* from one ``numpy.random.Generator.random`` block:
+
+- :func:`uniform_indices` -- inverse-CDF draws with replacement,
+  ``floor(U * n)`` per slot (simple random sampling, oversampled
+  strata);
+- :func:`floyd_distinct` -- Floyd's distinct-subset algorithm,
+  vectorized over the draw axis (within-stratum sampling without
+  replacement, balanced extra slots);
+- argsort over iid uniform keys (in ``BalancedRandomPlan``) -- uniform
+  permutations without the O(slots^2) Fisher-Yates replay.
+
+The trade is explicit: for the same seed the fast path selects
+*different* workloads than the ``random.Random`` loop, so it is
+validated at the distribution level (stratum allocation counts,
+per-row inclusion frequencies, confidence agreement with the MT path
+-- see ``tests/test_fast_sampling.py``), never at the bit level.  It
+is strictly opt-in: the MT replay stays the default everywhere and
+remains the golden parity oracle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Environment override for the ``fast_sampling`` default of the
+#: estimator stack (``Session`` / ``estimate_full_scale`` /
+#: ``repro estimate``).  Truthy values: ``1`` / ``true`` / ``yes`` /
+#: ``on``.
+FAST_SAMPLING_ENV = "REPRO_FAST_SAMPLING"
+
+
+def fast_sampling_default() -> bool:
+    """Whether ``REPRO_FAST_SAMPLING`` opts sessions into the fast path."""
+    value = os.environ.get(FAST_SAMPLING_ENV, "")
+    return value.strip().lower() in ("1", "true", "yes", "on")
+
+
+def fast_generator(seed: int, sample_size: int) -> np.random.Generator:
+    """The fast path's generator for one (seed, sample size) point.
+
+    Mirrors the MT path's ``random.Random((seed << 16) ^ size)``
+    derivation, masked into NumPy's non-negative seed domain, so a
+    batched curve point and a single ``confidence()`` call see the
+    same stream -- the fast path keeps the default path's
+    curve-equals-per-point property.
+    """
+    return np.random.default_rng(
+        ((seed << 16) ^ sample_size) & 0xFFFFFFFFFFFFFFFF)
+
+
+def uniform_indices(uniforms: np.ndarray, n: int) -> np.ndarray:
+    """Inverse-CDF draws with replacement: ``floor(U * n)`` per slot."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    picks = (uniforms * n).astype(np.int64)
+    # U < 1, but (1 - 2**-53) * n can round up to n at large n; clamp
+    # rather than bias the top index away.
+    return np.minimum(picks, n - 1)
+
+
+def floyd_distinct(uniforms: np.ndarray, n: int) -> np.ndarray:
+    """Distinct draws without replacement, vectorized over the rows.
+
+    Floyd's algorithm over ``k = uniforms.shape[1]`` picks from
+    ``range(n)``: for ``i = n-k .. n-1`` pick ``j = floor(U * (i+1))``
+    and, if ``j`` was already selected in this row, take ``i`` instead.
+    Every row's ``k`` picks form a uniformly distributed ``k``-subset
+    of ``range(n)``.  The *order* of the picks is not uniform (index
+    ``i`` can only enter in its own round), which the estimator never
+    observes: within a stratum every slot carries the same weight.
+
+    Cost: ``k`` vectorized rounds, each a length-``draws`` multiply
+    plus an O(t) duplicate test -- no per-draw Python work.
+    """
+    k = uniforms.shape[1]
+    if k > n:
+        raise ValueError("cannot draw more distinct picks than the range")
+    picks = np.empty((uniforms.shape[0], k), dtype=np.int64)
+    for t, i in enumerate(range(n - k, n)):
+        j = np.minimum((uniforms[:, t] * (i + 1)).astype(np.int64), i)
+        if t:
+            duplicate = (picks[:, :t] == j[:, None]).any(axis=1)
+            picks[:, t] = np.where(duplicate, i, j)
+        else:
+            picks[:, 0] = j
+    return picks

@@ -57,6 +57,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from . import _kernels
+
 _N = 624                    # state words
 _M = 397                    # twist offset
 _LAG = _N - _M              # 227: feedback lag of the in-place update
@@ -395,16 +397,25 @@ class _Bound:
         self.n = n
         self.length = len(values)
         self._values = values
-        self._mask = values < np.uint32(n)
-        real = np.flatnonzero(self._mask)
-        self._real = real
-        self.count = len(real)
-        # Index `count + j` serves absorbed consumption: one past word
-        # `length`, i.e. the overflow state, for overshoot up to `pad`.
-        positions1 = np.empty(self.count + pad + 1, dtype=np.int64)
-        np.add(real, 1, out=positions1[:self.count])
-        positions1[self.count:] = self.length + 1
-        self.positions1 = positions1
+        if _kernels.enabled():
+            # One fused compiled pass; mask and accepted indices are
+            # recovered lazily from `positions1` if ever needed.
+            self.count, self.positions1 = _kernels.classify_positions(
+                values, np.uint32(n), pad)
+            self._mask = None
+            self._real = None
+        else:
+            self._mask = values < np.uint32(n)
+            real = np.flatnonzero(self._mask)
+            self._real = real
+            self.count = len(real)
+            # Index `count + j` serves absorbed consumption: one past
+            # word `length`, i.e. the overflow state, for overshoot up
+            # to `pad`.
+            positions1 = np.empty(self.count + pad + 1, dtype=np.int64)
+            np.add(real, 1, out=positions1[:self.count])
+            positions1[self.count:] = self.length + 1
+            self.positions1 = positions1
         self._prefix = None
         self._nxt1 = None
         self._accepted = None
@@ -424,11 +435,23 @@ class _Bound:
             prefix = self._prefix_table()
             gathered = prefix if points is None else prefix[points]
             return gathered.astype(np.int64)
-        return np.searchsorted(self._real, points, side="left")
+        return np.searchsorted(self.real(), points, side="left")
+
+    def real(self) -> np.ndarray:
+        """The accepted word indices, in stream order."""
+        if self._real is None:
+            self._real = self.positions1[:self.count] - 1
+        return self._real
 
     def _prefix_table(self) -> np.ndarray:
         if self._prefix is None:
+            if _kernels.enabled():
+                self._prefix = _kernels.prefix_table(
+                    self._values, np.uint32(self.n))
+                return self._prefix
             length = self.length
+            if self._mask is None:
+                self._mask = self._values < np.uint32(self.n)
             # int32: a plain int64 cumsum costs ~2x; rank() upcasts the
             # (usually much smaller) gathered batch instead.
             prefix = np.empty(length + 2, dtype=np.int32)
@@ -453,7 +476,7 @@ class _Bound:
     def accepted(self) -> np.ndarray:
         """The accepted values, in stream order."""
         if self._accepted is None:
-            self._accepted = self._values[self._real]
+            self._accepted = self._values[self.real()]
         return self._accepted
 
     def next_diff(self) -> np.ndarray:
@@ -675,14 +698,20 @@ def _replay_buffer(buffer: np.ndarray, steps: Sequence[_Step], draws: int,
 
     # Stage 2b: walk the draws through the composed map -- the only
     # sequential part, one array lookup per draw.
-    starts = np.empty(draws, dtype=np.int64)
-    cursor = 0
-    for draw in range(draws):
-        starts[draw] = cursor
-        cursor = int(advance[cursor])
-        if cursor > length:
+    if _kernels.enabled():
+        starts, consumed = _kernels.walk_chain(advance, draws, length)
+        if consumed < 0:
             return None
-    consumed = cursor
+        consumed = int(consumed)
+    else:
+        starts = np.empty(draws, dtype=np.int64)
+        cursor = 0
+        for draw in range(draws):
+            starts[draw] = cursor
+            cursor = int(advance[cursor])
+            if cursor > length:
+                return None
+        consumed = cursor
 
     # Stage 3: gather every step's accepted values at the now-known
     # offsets (vectorized across draws) into the output matrices.

@@ -40,6 +40,23 @@ class SimpleRandomPlan(SamplingPlan):
         weights = np.full(size, 1.0 / size)
         return rows.reshape(draws, size), weights
 
+    def rows_matrix_fast(self, size: int, draws: int,
+                         rng: np.random.Generator
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fast draws: inverse-CDF picks from one uniform block.
+
+        Not bit-compatible with :meth:`rows_matrix` (see the
+        ``fastpath`` module docstring); same uniform-with-replacement
+        distribution.
+        """
+        from repro.core.sampling.fastpath import uniform_indices
+
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        rows = uniform_indices(rng.random((draws, size)), self._n)
+        weights = np.full(size, 1.0 / size)
+        return rows, weights
+
 
 class SimpleRandomSampling(SamplingMethod):
     """Uniform random selection of workloads, with replacement.

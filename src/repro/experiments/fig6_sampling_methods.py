@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.classification import class_labels
 from repro.core.delta import DeltaVariable
-from repro.core.estimator import ConfidenceEstimator, PairedConfidenceEstimator
+from repro.core.estimator import PairedConfidenceEstimator
 from repro.core.metrics import IPCT, ThroughputMetric
 from repro.core.sampling import (
     BalancedRandomSampling,
@@ -72,7 +72,6 @@ def run(scale: Scale = Scale.MEDIUM,
     population = context.population(cores)
     classes = class_labels(run_table4(scale, context).mpki)
     curves: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
-    strata_counts: Dict[Tuple[str, str], int] = {}
     index = population.index
     variable = DeltaVariable(metric, results.reference)
     deltas = {
@@ -82,7 +81,8 @@ def run(scale: Scale = Scale.MEDIUM,
     # The pair-independent methods (their draws never look at d(w))
     # share one row batch and one gather across all pairs; workload
     # stratification derives its strata from each pair's own delta
-    # column, so it stays per pair.
+    # column, so it keeps per-pair rows but still batches the gather
+    # and the weighted-mean reduction across pairs (`pair_curves`).
     shared_methods = [SimpleRandomSampling()]
     if population.is_exhaustive:
         # Balanced sampling needs the full population (footnote 6).
@@ -93,18 +93,19 @@ def run(scale: Scale = Scale.MEDIUM,
     shared_curves = {
         method.name: paired.curve(method, sample_sizes, seed=context.seed)
         for method in shared_methods}
+    stratifiers = {
+        pair: WorkloadStratification.from_column(
+            deltas[pair], min_stratum=max(10, len(population) // 40))
+        for pair in pairs}
+    strata_counts = {pair: stratifier.num_strata
+                     for pair, stratifier in stratifiers.items()}
+    strata_curves = paired.pair_curves(stratifiers, sample_sizes,
+                                       seed=context.seed)
     for pair in pairs:
-        delta = deltas[pair]
-        stratifier = WorkloadStratification.from_column(
-            delta, min_stratum=max(10, len(population) // 40))
-        strata_counts[pair] = stratifier.num_strata
-        estimator = ConfidenceEstimator(population, delta,
-                                        draws=context.parameters.draws)
         by_method = {name: list(per_pair[pair].confidence)
                      for name, per_pair in shared_curves.items()}
-        by_method[stratifier.name] = list(
-            estimator.curve(stratifier, sample_sizes,
-                            seed=context.seed).confidence)
+        by_method[stratifiers[pair].name] = list(
+            strata_curves[pair].confidence)
         curves[pair] = by_method
     return Fig6Result(metric=metric.name, cores=cores,
                       sample_sizes=tuple(sample_sizes), curves=curves,

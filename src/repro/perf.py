@@ -33,20 +33,33 @@ The scalar/columnar pairing is by name suffix
 panel pairing is ``sim-panel-badco`` vs ``sim-panel-analytic``; the
 store pairing is ``pop-store-cold`` vs ``pop-store-warm``; the driver
 pairing is ``e2e-8core-cold`` vs ``e2e-8core-warm``.
+
+The analytics suite additionally records the PR-7 sampling paths:
+``estimator-workload-strata-fast`` (the opt-in ``fast_sampling=True``
+draw path, paired against ``estimator-workload-strata-columnar``),
+``estimator-workload-strata-kernels-off``/``-on`` (the MT replay with
+the optional compiled scan kernels disabled/enabled -- identical code
+when numba is absent, flagged by ``"kernels_available"``), and
+``estimator-workload-strata-pairs-loop``/``-pairs`` (per-pair
+estimator loop vs the fig6 pair-batched
+:meth:`~repro.core.estimator.PairedConfidenceEstimator.pair_curves`).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.bench.spec import benchmark_names
 from repro.core.delta import DeltaVariable
-from repro.core.estimator import ConfidenceEstimator
+from repro.core.estimator import ConfidenceEstimator, PairedConfidenceEstimator
 from repro.core.metrics import WSU
 from repro.ioutil import atomic_write_text
 from repro.core.population import WorkloadPopulation
@@ -54,6 +67,7 @@ from repro.core.sampling import (
     BenchmarkStratification,
     SimpleRandomSampling,
     WorkloadStratification,
+    _kernels,
 )
 
 #: The acceptance configuration: 1000 draws, samples of 30 workloads.
@@ -189,6 +203,67 @@ def run_bench(draws: int = DEFAULT_DRAWS,
                _time(lambda m=method: estimator.confidence(
                    m, sample_size, seed=seed), tries),
                draws)
+
+    # --- the opt-in fast path (not bit-compatible with the MT replay)
+    # against the columnar replay on the same workload-strata method.
+    strata_method = methods[1][1]
+    fast_estimator = ConfidenceEstimator(population, delta, draws=draws,
+                                         fast_sampling=True)
+    record("estimator-workload-strata-fast",
+           _time(lambda: fast_estimator.confidence(
+               strata_method, sample_size, seed=seed), repeat),
+           draws)
+
+    # --- the compiled scan kernels, off vs on, on the MT replay path.
+    # Identical code when numba is absent (``kernels_available`` says
+    # which case a record measured); the pairing stays meaningful on
+    # the CI leg that installs numba.
+    def _replay(value: Optional[str]) -> float:
+        previous = os.environ.get(_kernels.KERNELS_ENV)
+        try:
+            if value is None:
+                os.environ.pop(_kernels.KERNELS_ENV, None)
+            else:
+                os.environ[_kernels.KERNELS_ENV] = value
+            return _time(lambda: estimator.confidence(
+                strata_method, sample_size, seed=seed), repeat)
+        finally:
+            if previous is None:
+                os.environ.pop(_kernels.KERNELS_ENV, None)
+            else:
+                os.environ[_kernels.KERNELS_ENV] = previous
+
+    for suffix, value in (("off", "0"), ("on", None)):
+        record(f"estimator-workload-strata-kernels-{suffix}",
+               _replay(value), draws)
+        records[-1]["kernels_available"] = _kernels.HAVE_NUMBA
+
+    # --- fig6-style pair batching: four policy pairs, one shared row
+    # gather (pair_curves) against the per-pair estimator loop.
+    from repro.core.columnar import DeltaColumn
+
+    gen = np.random.default_rng(seed)
+    pair_deltas = {
+        f"pair{p}": DeltaColumn(
+            index, delta.values + gen.normal(0.0, 0.05, len(population)))
+        for p in range(4)}
+    stratifiers = {
+        key: WorkloadStratification.from_column(
+            column, min_stratum=max(10, len(population) // 40))
+        for key, column in pair_deltas.items()}
+    paired = PairedConfidenceEstimator(population, pair_deltas, draws=draws)
+
+    def pair_loop() -> None:
+        for key, column in pair_deltas.items():
+            ConfidenceEstimator(population, column, draws=draws).curve(
+                stratifiers[key], (sample_size,), seed=seed)
+
+    record("estimator-workload-strata-pairs-loop", _time(pair_loop, repeat),
+           draws)
+    record("estimator-workload-strata-pairs",
+           _time(lambda: paired.pair_curves(
+               stratifiers, (sample_size,), seed=seed), repeat),
+           draws)
     return records
 
 
@@ -438,7 +513,16 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
                              ("pop-store", "pop-store-cold",
                               "pop-store-warm"),
                              ("e2e-8core", "e2e-8core-cold",
-                              "e2e-8core-warm")):
+                              "e2e-8core-warm"),
+                             ("estimator-workload-strata-fast",
+                              "estimator-workload-strata-columnar",
+                              "estimator-workload-strata-fast"),
+                             ("estimator-workload-strata-pairs",
+                              "estimator-workload-strata-pairs-loop",
+                              "estimator-workload-strata-pairs"),
+                             ("estimator-workload-strata-kernels",
+                              "estimator-workload-strata-kernels-off",
+                              "estimator-workload-strata-kernels-on")):
         numerator = by_name.get(slow)
         denominator = by_name.get(fast)
         if numerator and denominator:

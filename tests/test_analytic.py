@@ -349,7 +349,7 @@ def test_engine_single_dispatch_equals_per_policy_path(parity_population):
 
 
 def test_engine_grid_dispatch_falls_back_on_ragged_caches(parity_population):
-    """Partially cached policies keep the per-policy batch path correct."""
+    """Partially cached policies stay correct (intersection + remainder)."""
     workloads = list(parity_population)
     campaign = _campaign("analytic")
     campaign.run_grid(workloads[:4], ["LRU"])       # LRU partially done
@@ -357,6 +357,57 @@ def test_engine_grid_dispatch_falls_back_on_ragged_caches(parity_population):
     reference = _campaign("analytic")
     reference.run_grid(workloads, PARITY_POLICIES)
     for policy in PARITY_POLICIES:
+        for workload in workloads:
+            assert (campaign.results.ipcs(policy, workload)
+                    == reference.results.ipcs(policy, workload))
+
+
+def test_engine_ragged_caches_grid_dispatch_intersection(parity_population,
+                                                         monkeypatch):
+    """Ragged pending sets grid-dispatch their shared rows once."""
+    from repro.api.engine import Campaign
+
+    workloads = list(parity_population)
+    campaign = _campaign("analytic")
+    campaign.run_grid(workloads[:4], ["LRU"])       # LRU partially done
+    calls = []
+    original = Campaign._run_grid_policy_axis
+
+    def spy(self, todo, policies, workers):
+        calls.append((list(todo), list(policies)))
+        return original(self, todo, policies, workers)
+
+    monkeypatch.setattr(Campaign, "_run_grid_policy_axis", spy)
+    campaign.run_grid(workloads, PARITY_POLICIES)
+    # The rows every policy still needs went through one policy-axis
+    # dispatch covering all policies; LRU's cached head leaves a
+    # single-policy remainder, which takes the plain batch path.
+    assert calls == [(workloads[4:], list(PARITY_POLICIES))]
+
+
+def test_engine_ragged_three_policies_second_grid(parity_population,
+                                                  monkeypatch):
+    """A uniform multi-policy remainder dispatches as a second grid."""
+    from repro.api.engine import Campaign
+
+    workloads = list(parity_population)
+    policies = ["LRU", "DIP", "DRRIP"]
+    campaign = _campaign("analytic")
+    campaign.run_grid(workloads[:4], ["LRU"])       # LRU partially done
+    calls = []
+    original = Campaign._run_grid_policy_axis
+
+    def spy(self, todo, policies, workers):
+        calls.append((list(todo), list(policies)))
+        return original(self, todo, policies, workers)
+
+    monkeypatch.setattr(Campaign, "_run_grid_policy_axis", spy)
+    campaign.run_grid(workloads, policies)
+    assert calls == [(workloads[4:], policies),
+                     (workloads[:4], ["DIP", "DRRIP"])]
+    reference = _campaign("analytic")
+    reference.run_grid(workloads, policies)
+    for policy in policies:
         for workload in workloads:
             assert (campaign.results.ipcs(policy, workload)
                     == reference.results.ipcs(policy, workload))

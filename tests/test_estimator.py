@@ -175,6 +175,50 @@ def test_paired_estimator_scalar_fallback(small_population):
                 == single.curve(method, [5], seed=1).confidence)
 
 
+def test_pair_curves_bit_identical_per_pair(small_population):
+    """fig6's pair-batched workload-strata equals the per-pair loop."""
+    from repro.core.estimator import PairedConfidenceEstimator
+    from repro.core.sampling import WorkloadStratification
+
+    deltas = _pair_deltas(small_population)
+    paired = PairedConfidenceEstimator(small_population, deltas, draws=200)
+    methods = {key: WorkloadStratification.from_column(delta, min_stratum=5)
+               for key, delta in deltas.items()}
+    sizes = [4, 8, 12]
+    grouped = paired.pair_curves(methods, sizes, seed=5)
+    for key, delta in deltas.items():
+        single = ConfidenceEstimator(small_population, delta, draws=200)
+        expected = single.curve(methods[key], sizes, seed=5)
+        assert grouped[key].confidence == expected.confidence
+        assert grouped[key].method == methods[key].name
+
+
+def test_pair_curves_requires_method_per_pair(small_population):
+    from repro.core.estimator import PairedConfidenceEstimator
+
+    deltas = _pair_deltas(small_population, pairs=2)
+    paired = PairedConfidenceEstimator(small_population, deltas, draws=50)
+    with pytest.raises(ValueError):
+        paired.pair_curves({"pair0": SimpleRandomSampling()}, [5])
+
+
+def test_pair_curves_planless_fallback(small_population):
+    from repro.core.estimator import PairedConfidenceEstimator
+
+    class SampleOnly(SimpleRandomSampling):
+        def plan(self, index, population):
+            return None
+
+    deltas = _pair_deltas(small_population, pairs=2)
+    paired = PairedConfidenceEstimator(small_population, deltas, draws=50)
+    methods = {key: SampleOnly() for key in deltas}
+    grouped = paired.pair_curves(methods, [5], seed=1)
+    for key, delta in deltas.items():
+        single = ConfidenceEstimator(small_population, delta, draws=50)
+        assert (grouped[key].confidence
+                == single.curve(methods[key], [5], seed=1).confidence)
+
+
 def test_paired_estimator_rejects_empty():
     from repro.core.estimator import PairedConfidenceEstimator
     from repro.core.population import WorkloadPopulation

@@ -1,0 +1,156 @@
+"""Parity and wiring tests for the optional compiled scan kernels.
+
+numba may or may not be installed (the baked-in environment ships
+without it; one CI leg adds it).  The contract under test is therefore
+twofold: the pure-Python reference kernels (always importable) must be
+bit-identical to the NumPy expressions they replace, and the
+``mtstream`` call sites must produce bit-identical replays with the
+kernels monkeypatched in -- which exercises the exact wiring the
+compiled kernels use, without requiring a compiler here.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import _kernels
+from repro.core.sampling.mtstream import MTStream, replay_schedule
+
+
+def _words(seed: int, count: int, kappa: int = 5) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return (gen.integers(0, 1 << 32, count, dtype=np.uint64)
+            .astype(np.uint32) >> np.uint32(32 - kappa))
+
+
+# ----------------------------------------------------------------------
+# Reference-kernel parity against the NumPy constructions
+
+
+@pytest.mark.parametrize("n,pad", [(1, 0), (7, 3), (20, 10), (31, 1)])
+def test_classify_positions_matches_numpy(n, pad):
+    values = _words(n * 31 + pad, 4000)
+    count, positions1 = _kernels.classify_positions_py(
+        values, np.uint32(n), pad)
+    mask = values < np.uint32(n)
+    real = np.flatnonzero(mask)
+    expected = np.empty(len(real) + pad + 1, dtype=np.int64)
+    expected[:len(real)] = real + 1
+    expected[len(real):] = len(values) + 1
+    assert count == len(real)
+    assert positions1.dtype == expected.dtype
+    assert np.array_equal(positions1, expected)
+
+
+@pytest.mark.parametrize("n", [1, 3, 18, 32])
+def test_prefix_table_matches_numpy(n):
+    values = _words(n, 3000)
+    prefix = _kernels.prefix_table_py(values, np.uint32(n))
+    mask = values < np.uint32(n)
+    expected = np.empty(len(values) + 2, dtype=np.int32)
+    expected[0] = 0
+    np.cumsum(mask.view(np.int8), dtype=np.int32,
+              out=expected[1:len(values) + 1])
+    expected[-1] = expected[-2]
+    assert prefix.dtype == expected.dtype
+    assert np.array_equal(prefix, expected)
+
+
+def test_walk_chain_matches_python_loop():
+    gen = np.random.default_rng(11)
+    length = 500
+    advance = gen.integers(1, length + 1, length + 2).astype(np.int64)
+    advance = np.maximum(advance, np.arange(length + 2) + 1)
+    for draws in (1, 40, 200):
+        starts, consumed = _kernels.walk_chain_py(advance, draws, length)
+        expected = np.empty(draws, dtype=np.int64)
+        cursor = 0
+        overflowed = False
+        for draw in range(draws):
+            expected[draw] = cursor
+            cursor = int(advance[cursor])
+            if cursor > length:
+                overflowed = True
+                break
+        if overflowed:
+            assert consumed == -1
+        else:
+            assert consumed == cursor
+            assert np.array_equal(starts, expected)
+
+
+def test_walk_chain_reports_overflow():
+    advance = np.array([1, 99, 99], dtype=np.int64)
+    starts, consumed = _kernels.walk_chain_py(advance, 3, 1)
+    assert consumed == -1
+    assert starts[0] == 0 and starts[1] == 1
+
+
+# ----------------------------------------------------------------------
+# Call-site wiring: replays are bit-identical with kernels active
+
+
+@pytest.fixture
+def forced_kernels(monkeypatch):
+    """Route the mtstream call sites through the reference kernels."""
+    monkeypatch.setattr(_kernels, "classify_positions",
+                        _kernels.classify_positions_py)
+    monkeypatch.setattr(_kernels, "prefix_table", _kernels.prefix_table_py)
+    monkeypatch.setattr(_kernels, "walk_chain", _kernels.walk_chain_py)
+    monkeypatch.delenv(_kernels.KERNELS_ENV, raising=False)
+    assert _kernels.enabled()
+
+
+SCHEDULES = [
+    [("sample", 50, 8), ("randbelow", 7, 3)],
+    [("sample", 21, 2), ("sample", 400, 40), ("randbelow", 33, 5)],
+    [("shuffle", 12, 0)],
+    [("sample", 5, 5), ("shuffle", 6, 0), ("randbelow", 2, 4)],
+]
+
+
+@pytest.mark.parametrize("ops", SCHEDULES)
+def test_replay_schedule_bit_identical_with_kernels(ops, forced_kernels):
+    draws = 150
+    kernel_rng = random.Random(1234)
+    matrices = replay_schedule(kernel_rng, ops, draws)
+    plain_rng = random.Random(1234)
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setenv(_kernels.KERNELS_ENV, "0")
+        assert not _kernels.enabled()
+        expected = replay_schedule(plain_rng, ops, draws)
+    for got, want in zip(matrices, expected):
+        assert np.array_equal(got, want)
+    assert kernel_rng.getstate() == plain_rng.getstate()
+
+
+def test_randbelow_stream_bit_identical_with_kernels(forced_kernels):
+    kernel_rng = random.Random(77)
+    drawn = MTStream(kernel_rng).randbelow(1000, 5000)
+    plain_rng = random.Random(77)
+    expected = np.array([plain_rng.randrange(1000) for _ in range(5000)])
+    assert np.array_equal(drawn, expected)
+
+
+def test_kernels_env_disables(monkeypatch, forced_kernels):
+    monkeypatch.setenv(_kernels.KERNELS_ENV, "0")
+    assert not _kernels.enabled()
+    monkeypatch.setenv(_kernels.KERNELS_ENV, "off")
+    assert not _kernels.enabled()
+    monkeypatch.setenv(_kernels.KERNELS_ENV, "1")
+    assert _kernels.enabled()
+
+
+def test_enabled_false_without_numba(monkeypatch):
+    monkeypatch.setattr(_kernels, "classify_positions", None)
+    assert not _kernels.enabled()
+
+
+def test_have_numba_matches_import_reality():
+    try:
+        import numba  # noqa: F401  # repro: allow[REP008] probe only
+        available = True
+    except ImportError:
+        available = False
+    assert _kernels.HAVE_NUMBA is available

@@ -8,6 +8,8 @@ from repro.perf import run_bench, run_sim_bench, speedups, write_bench
 SCHEMA_KEYS = {"name", "seconds", "draws", "population_size"}
 #: Sim-suite records add provenance (and MIPS for simulator runs).
 SIM_EXTRA_KEYS = {"backend", "mips"}
+#: Analytics kernel records flag whether numba was importable.
+ANALYTICS_EXTRA_KEYS = {"kernels_available"}
 
 
 def _smoke_records():
@@ -19,7 +21,7 @@ def test_records_follow_schema():
     records = _smoke_records()
     assert records, "harness produced no records"
     for record in records:
-        assert set(record) == SCHEMA_KEYS
+        assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | ANALYTICS_EXTRA_KEYS
         assert record["seconds"] > 0
         assert record["population_size"] == 253
     names = [r["name"] for r in records]
@@ -28,6 +30,12 @@ def test_records_follow_schema():
     scalars = {n for n in names if n.endswith("-scalar")}
     for name in scalars:
         assert name.replace("-scalar", "-columnar") in names
+    # The PR-7 sampling-path records are all present.
+    assert {"estimator-workload-strata-fast",
+            "estimator-workload-strata-kernels-off",
+            "estimator-workload-strata-kernels-on",
+            "estimator-workload-strata-pairs-loop",
+            "estimator-workload-strata-pairs"} <= set(names)
 
 
 def test_speedups_pair_scalar_with_columnar():
@@ -35,7 +43,9 @@ def test_speedups_pair_scalar_with_columnar():
     ratios = speedups(records)
     assert set(ratios) == {
         "delta-wsu", "estimator-random", "estimator-workload-strata",
-        "estimator-bench-strata"}
+        "estimator-bench-strata", "estimator-workload-strata-fast",
+        "estimator-workload-strata-pairs",
+        "estimator-workload-strata-kernels"}
     # The columnar bench-strata estimator skips the per-draw O(N)
     # strata rebuild; even at smoke scale that is a decisive win.
     assert ratios["estimator-bench-strata"] > 2
@@ -55,7 +65,8 @@ def test_cli_bench_writes_output(tmp_path, capsys):
                  "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert all(set(r) == SCHEMA_KEYS for r in payload)
+    assert all(SCHEMA_KEYS <= set(r) <= SCHEMA_KEYS | ANALYTICS_EXTRA_KEYS
+               for r in payload)
     stdout = capsys.readouterr().out
     assert "speedup estimator-random" in stdout
 
