@@ -48,7 +48,7 @@ from repro.api.scales import (
     default_model_store_dir,
     scale_parameters,
 )
-from repro.api.session import FullScaleEstimate, Session
+from repro.api.session import FullScaleEstimate, Session, TwoStageEstimate
 
 __all__ = [
     # backends
@@ -63,5 +63,5 @@ __all__ = [
     "Scale", "ScaleParameters", "coerce_scale", "scale_parameters",
     "default_cache_dir", "default_model_store_dir",
     # facade
-    "Session", "FullScaleEstimate",
+    "Session", "FullScaleEstimate", "TwoStageEstimate",
 ]

@@ -95,9 +95,16 @@ class DetailedBackend:
 
 
 class BadcoBackend:
-    """The BADCO-style approximate simulator (shared model builder)."""
+    """The BADCO-style approximate simulator (shared model builder).
+
+    Batch-capable: :class:`~repro.sim.badco.multicore.BadcoSimulator`
+    mixes in :class:`~repro.sim.batch.EventDrivenBatchMixin`, so grids
+    dispatch through ``run_batch`` (serial, or jobs-invariant pool
+    chunks) exactly like the analytic backend.
+    """
 
     name = "badco"
+    supports_batch = True
 
     def make_builder(self, trace_length: int, seed: int) -> Any:
         from repro.sim.badco.model import BadcoModelBuilder
@@ -117,9 +124,14 @@ class BadcoBackend:
 
 
 class IntervalBackend:
-    """The one-training-run interval-model simulator."""
+    """The one-training-run interval-model simulator.
+
+    Batch-capable like ``badco``: the simulator's ``run_batch`` comes
+    from :class:`~repro.sim.batch.EventDrivenBatchMixin`.
+    """
 
     name = "interval"
+    supports_batch = True
 
     def make_builder(self, trace_length: int, seed: int) -> Any:
         from repro.sim.interval.profile import IntervalProfileBuilder

@@ -138,6 +138,100 @@ class FullScaleEstimate:
         return lines
 
 
+@dataclass(frozen=True)
+class TwoStageEstimate(FullScaleEstimate):
+    """Outcome of one two-stage (screen + refine) estimation run.
+
+    The inherited :class:`FullScaleEstimate` fields describe the FINAL
+    estimate: ``inverse_cv`` and ``confidence`` are computed over the
+    spliced d(w) column (screened values with the refined rows patched
+    in), ``backend`` is the screening backend that scored the full
+    panel, and ``training_runs`` counts the screening phase only.  The
+    extra fields carry the refine stage and the screen-vs-refine
+    disagreement accounting.
+
+    Attributes:
+        refine_backend: event-driven backend that re-scored the
+            selected rows.
+        refine_budget: rows requested for refinement.
+        refined: rows actually refined (budget clamped to the frame).
+        floor_allocated: d(w) == 0 cells forced into the budget so the
+            screen cannot hide no-signal regions from refinement.
+        screen_inverse_cv: 1/cv of the screening-stage d(w).
+        screen_confidence: stage-1 confidence curves (same methods and
+            sample sizes as the final ``confidence``).
+        refine_training_runs: trainings/calibrations the refine
+            backend performed (0 == fully warm store).
+        max_shift / mean_shift: max and mean |refined - screened| over
+            the refined rows.
+        sign_flips: refined rows whose d(w) changed sign (including to
+            or from zero) -- the rows where the screen's verdict was
+            wrong, not merely imprecise.
+    """
+
+    refine_backend: str = ""
+    refine_budget: int = 0
+    refined: int = 0
+    floor_allocated: int = 0
+    screen_inverse_cv: float = 0.0
+    screen_confidence: Dict[str, Tuple[float, ...]] = \
+        field(default_factory=dict)
+    refine_training_runs: int = 0
+    max_shift: float = 0.0
+    mean_shift: float = 0.0
+    sign_flips: int = 0
+
+    def _curve_lines(self, confidence: Dict[str, Tuple[float, ...]]
+                     ) -> List[str]:
+        lines = [f"    {'W':>6}  " + "  ".join(
+            f"{name:>16}" for name in confidence)]
+        for i, size in enumerate(self.sample_sizes):
+            lines.append(f"    {size:6d}  " + "  ".join(
+                f"{series[i]:16.3f}" for series in confidence.values()))
+        return lines
+
+    def rows(self) -> List[str]:
+        """Printable two-stage report (used by ``repro estimate``)."""
+        frame = (f"{self.population_size} of {self.true_population_size} "
+                 f"workloads (rank-sampled)" if self.sampled
+                 else f"all {self.population_size} workloads")
+        lines = [
+            f"{self.candidate} vs {self.baseline} ({self.metric}, "
+            f"{self.cores} cores, two-stage: {self.backend} screen -> "
+            f"{self.refine_backend} refine)",
+            f"  population frame: {frame}",
+            f"  stage 1 (screen, {self.backend}):",
+            f"    1/cv = {self.screen_inverse_cv:+.3f}   "
+            f"(draws: {self.draws})",
+            f"    training/calibration runs: {self.training_runs}"
+            + ("  (warm model store)" if self.training_runs == 0 else ""),
+        ]
+        lines.extend(self._curve_lines(self.screen_confidence))
+        lines.extend([
+            f"  stage 2 (refine, {self.refine_backend}):",
+            f"    refined {self.refined} of {self.population_size} rows "
+            f"(budget {self.refine_budget}, "
+            f"{self.floor_allocated} no-signal floor cells)",
+            f"    training/calibration runs: {self.refine_training_runs}"
+            + ("  (warm model store)"
+               if self.refine_training_runs == 0 else ""),
+            f"    refined-vs-screened d(w): max shift "
+            f"{self.max_shift:.4g}, mean shift {self.mean_shift:.4g}, "
+            f"sign flips {self.sign_flips}",
+            "  final (spliced) estimate:",
+            f"    1/cv = {self.inverse_cv:+.3f}   "
+            f"(strata: {self.num_strata}, draws: {self.draws})",
+        ])
+        lines.extend(self._curve_lines(self.confidence))
+        if self.fast_sampling:
+            lines.append("  sampling: fast path (not bit-compatible with "
+                         "the seeded MT draws)")
+        lines.append("  phase seconds: " + ", ".join(
+            f"{phase} {seconds:.2f}"
+            for phase, seconds in self.timings.items()))
+        return lines
+
+
 class Session:
     """Owns populations, builders and campaigns for one configuration.
 
@@ -447,6 +541,239 @@ class Session:
             sample_sizes=tuple(sample_sizes),
             fast_sampling=estimator.fast_sampling, confidence=confidence,
             training_runs=training_runs, timings=timings)
+
+    def estimate_two_stage(self, baseline: str = "LRU",
+                           candidate: str = "DIP", *,
+                           metric: MetricLike = "IPCT",
+                           cores: int = 8,
+                           sample: Optional[int] = None,
+                           draws: Optional[int] = None,
+                           sample_sizes: Sequence[int] = (10, 30, 100),
+                           min_stratum: Optional[int] = None,
+                           refine_backend: str = "badco",
+                           refine_budget: Optional[int] = None,
+                           refine_frac: Optional[float] = None,
+                           screen_backend: str = "analytic",
+                           fast_sampling: Optional[bool] = None
+                           ) -> TwoStageEstimate:
+        """Analytic screening plus a budgeted event-driven refine pass.
+
+        Stage 1 scores the whole frame with the cheap screening backend
+        (exactly :meth:`estimate_full_scale`); stage 2 spends a
+        simulation budget re-scoring the rows the screen says matter
+        most on an event-driven backend, splices the refined d(w) back
+        into the column, and re-estimates.  Row selection ranks by
+        screening signal -- normalised |d(w)| plus each row's
+        contribution to the cv spread |d(w) - mean| -- with an explicit
+        floor allocation for d(w) == 0 cells: a share of the budget is
+        always spent on evenly-spaced no-signal rows, so an analytic
+        screen that flattens a region to zero (the known
+        scaled-trace caveat) cannot hide that region from refinement.
+
+        The refine pass runs through the campaign engine, so with
+        ``jobs > 1`` the selected rows are chunk-sharded over a process
+        pool via the event-driven backends' ``run_batch`` -- results
+        are bit-identical for any ``jobs``.
+
+        Args:
+            baseline / candidate / metric / cores / sample / draws /
+                sample_sizes / min_stratum / fast_sampling: exactly as
+                :meth:`estimate_full_scale`.
+            refine_backend: event-driven backend for the refine pass
+                (``badco`` or ``interval``).
+            refine_budget: number of rows to refine (clamped to the
+                frame size).  Exactly one of ``refine_budget`` /
+                ``refine_frac`` must be given.
+            refine_frac: fraction of the frame to refine, in (0, 1].
+            screen_backend: batch-capable backend for stage 1
+                (default ``analytic``).
+
+        Returns:
+            A :class:`TwoStageEstimate` report.
+        """
+        import numpy as np
+
+        from repro.core.columnar import (
+            DeltaColumn,
+            delta_column_from_matrices,
+        )
+        from repro.core.delta import DeltaVariable, delta_statistics
+        from repro.core.sampling.workload_strata import DEFAULT_MIN_STRATUM
+
+        if (refine_budget is None) == (refine_frac is None):
+            raise ValueError(
+                "exactly one of refine_budget / refine_frac is required")
+        if refine_frac is not None and not 0.0 < refine_frac <= 1.0:
+            raise ValueError("refine_frac must be in (0, 1]")
+        if refine_budget is not None and refine_budget < 1:
+            raise ValueError("refine_budget must be >= 1")
+        metric_obj = (metric_by_name(metric) if isinstance(metric, str)
+                      else metric)
+        baseline = validate_policy_name(baseline)
+        candidate = validate_policy_name(candidate)
+        screen_backend = get_backend(screen_backend).name
+        refine_backend = get_backend(refine_backend).name
+        if draws is None:
+            draws = self.parameters.draws
+        if fast_sampling is None:
+            fast_sampling = self.fast_sampling
+        timings: Dict[str, float] = {}
+
+        started = time.perf_counter()
+        if sample is None:
+            population = self.population(cores)
+        else:
+            population = WorkloadPopulation(self.benchmarks, cores,
+                                            max_size=sample, seed=self.seed)
+        frame = list(population)
+        timings["population"] = time.perf_counter() - started
+
+        # ---- stage 1: analytic screen over the full frame ------------
+        screen_builder = self.builder(screen_backend)
+        runs_before = self._builder_runs(screen_builder)
+        started = time.perf_counter()
+        screen_results = self.results(screen_backend, cores,
+                                      policies=[baseline, candidate],
+                                      workloads=frame)
+        timings["screen-panels"] = time.perf_counter() - started
+        screen_runs = self._builder_runs(screen_builder) - runs_before
+
+        started = time.perf_counter()
+        index, matrices = screen_results.columnar_panel(
+            [baseline, candidate], population)
+        screen_variable = DeltaVariable(metric_obj, screen_results.reference)
+        screen_delta = delta_column_from_matrices(
+            screen_variable, matrices[baseline], matrices[candidate])
+        screen_statistics = delta_statistics(screen_delta.values)
+        timings["screen-delta"] = time.perf_counter() - started
+
+        if min_stratum is None:
+            min_stratum = max(DEFAULT_MIN_STRATUM, len(population) // 40)
+        started = time.perf_counter()
+        screen_confidence = self._confidence_curves(
+            population, screen_delta, draws, tuple(sample_sizes),
+            min_stratum, fast_sampling)[0]
+        timings["screen-confidence"] = time.perf_counter() - started
+
+        # ---- rank: screening signal + no-signal floor allocation -----
+        started = time.perf_counter()
+        budget = (refine_budget if refine_budget is not None
+                  else max(1, round(refine_frac * len(population))))
+        budget = min(budget, len(population))
+        rows, floor_count = self._refine_rows(screen_delta.values, budget)
+        timings["rank"] = time.perf_counter() - started
+
+        # ---- stage 2: budgeted event-driven refine -------------------
+        refine_builder = self.builder(refine_backend)
+        runs_before = self._builder_runs(refine_builder)
+        started = time.perf_counter()
+        selected = [frame[i] for i in rows.tolist()]
+        refine_results = self.results(refine_backend, cores,
+                                      policies=[baseline, candidate],
+                                      workloads=selected)
+        refine_variable = DeltaVariable(metric_obj, refine_results.reference)
+        refined_values = np.array(
+            [refine_variable.value(w,
+                                   refine_results.ipcs(baseline, w),
+                                   refine_results.ipcs(candidate, w))
+             for w in selected], dtype=np.float64)
+        timings["refine"] = time.perf_counter() - started
+        refine_runs = self._builder_runs(refine_builder) - runs_before
+
+        # ---- splice + final estimate ---------------------------------
+        started = time.perf_counter()
+        screened_values = screen_delta.values[rows]
+        spliced = screen_delta.values.copy()
+        spliced[rows] = refined_values
+        delta = DeltaColumn(index, spliced)
+        statistics = delta_statistics(spliced)
+        confidence, stratifier, estimator = self._confidence_curves(
+            population, delta, draws, tuple(sample_sizes), min_stratum,
+            fast_sampling)
+        timings["splice-confidence"] = time.perf_counter() - started
+
+        shifts = np.abs(refined_values - screened_values)
+        return TwoStageEstimate(
+            baseline=baseline, candidate=candidate, metric=metric_obj.name,
+            backend=screen_backend, cores=cores,
+            population_size=len(population),
+            true_population_size=population.true_size,
+            sampled=not population.is_exhaustive,
+            draws=estimator.draws, num_strata=stratifier.num_strata,
+            inverse_cv=statistics.inverse_cv,
+            sample_sizes=tuple(sample_sizes),
+            fast_sampling=estimator.fast_sampling, confidence=confidence,
+            training_runs=screen_runs, timings=timings,
+            refine_backend=refine_backend, refine_budget=budget,
+            refined=len(selected), floor_allocated=floor_count,
+            screen_inverse_cv=screen_statistics.inverse_cv,
+            screen_confidence=screen_confidence,
+            refine_training_runs=refine_runs,
+            max_shift=float(shifts.max()) if len(shifts) else 0.0,
+            mean_shift=float(shifts.mean()) if len(shifts) else 0.0,
+            sign_flips=int(np.count_nonzero(
+                np.sign(refined_values) != np.sign(screened_values))))
+
+    @staticmethod
+    def _refine_rows(values, budget: int):
+        """Rows worth the refine budget, no-signal floor included.
+
+        Ranks rows by normalised |d(w)| plus normalised spread
+        contribution |d(w) - mean| (stable order, so ties resolve by
+        row number -- deterministic for a given frame).  Before
+        ranking, a floor share of the budget (one tenth, at least one
+        row when any exist) is allocated to evenly-spaced d(w) == 0
+        rows: those cells carry no screening signal at all, which is
+        exactly why the screen must not be trusted about them.
+
+        Returns:
+            ``(rows, floor_count)``: sorted unique row numbers to
+            refine and how many of them came from the zero floor.
+        """
+        import numpy as np
+
+        def normalised(x):
+            peak = x.max() if x.size else 0.0
+            return x / peak if peak > 0.0 else x
+
+        signal = np.abs(values)
+        spread = np.abs(values - values.mean())
+        score = normalised(signal) + normalised(spread)
+        zero = np.flatnonzero(values == 0.0)
+        floor_count = (min(int(zero.size), max(1, budget // 10))
+                       if zero.size else 0)
+        floor_rows = zero[(np.arange(floor_count) * zero.size)
+                          // max(floor_count, 1)]
+        order = np.argsort(-score, kind="stable")
+        order = order[~np.isin(order, floor_rows)]
+        rows = np.concatenate(
+            [floor_rows, order[:budget - floor_count]]).astype(np.int64)
+        return np.sort(rows), floor_count
+
+    def _confidence_curves(self, population, delta, draws: int,
+                           sample_sizes: Tuple[int, ...], min_stratum: int,
+                           fast_sampling: bool):
+        """Confidence curves for one d(w) column (both stages share it).
+
+        Returns ``(confidence, stratifier, estimator)`` where
+        ``confidence`` maps method name to the curve values, exactly as
+        :meth:`estimate_full_scale` reports them.
+        """
+        from repro.core.estimator import ConfidenceEstimator
+        from repro.core.sampling import (
+            SimpleRandomSampling,
+            WorkloadStratification,
+        )
+
+        stratifier = WorkloadStratification.from_column(
+            delta, min_stratum=min_stratum)
+        estimator = ConfidenceEstimator(population, delta, draws=draws,
+                                        fast_sampling=fast_sampling)
+        confidence = {}
+        for method in (SimpleRandomSampling(), stratifier):
+            curve = estimator.curve(method, sample_sizes, seed=self.seed)
+            confidence[method.name] = tuple(curve.confidence)
+        return confidence, stratifier, estimator
 
     @staticmethod
     def _builder_runs(builder: Any) -> int:

@@ -126,6 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="opt into the fast, non-bit-compatible "
                                "confidence draws (default: off, or the "
                                "REPRO_FAST_SAMPLING env override)")
+    estimate.add_argument("--refine-backend", default=None,
+                          help="two-stage estimation: event-driven backend "
+                               "(badco or interval) that re-scores the "
+                               "screened rows the budget selects; needs "
+                               "--refine-budget or --refine-frac")
+    refine = estimate.add_mutually_exclusive_group()
+    refine.add_argument("--refine-budget", type=int, default=None,
+                        help="rows to refine on the event-driven backend "
+                             "(clamped to the frame size)")
+    refine.add_argument("--refine-frac", type=float, default=None,
+                        help="fraction of the frame to refine, in (0, 1]")
 
     plan = sub.add_parser("plan", help="Section VII guideline for a cv")
     plan.add_argument("cv", type=float)
@@ -254,14 +265,37 @@ def _cmd_estimate(args) -> int:
     except UnknownBackendError as error:
         print(error, file=sys.stderr)
         return 2
+    budgeted = (args.refine_budget is not None
+                or args.refine_frac is not None)
+    if args.refine_backend is None and budgeted:
+        print("--refine-budget/--refine-frac need --refine-backend",
+              file=sys.stderr)
+        return 2
+    if args.refine_backend is not None and not budgeted:
+        print("--refine-backend needs --refine-budget or --refine-frac",
+              file=sys.stderr)
+        return 2
     session = Session(args.scale, jobs=args.jobs, backend=backend,
                       model_store_dir=args.model_store,
                       fast_sampling=args.fast_sampling)
     try:
-        estimate = session.estimate_full_scale(
-            args.baseline, args.candidate, metric=args.metric,
-            cores=args.cores, sample=args.sample, draws=args.draws,
-            sample_sizes=tuple(args.sizes), backend=backend)
+        if args.refine_backend is not None:
+            refine_backend = get_backend(args.refine_backend).name
+            estimate = session.estimate_two_stage(
+                args.baseline, args.candidate, metric=args.metric,
+                cores=args.cores, sample=args.sample, draws=args.draws,
+                sample_sizes=tuple(args.sizes), screen_backend=backend,
+                refine_backend=refine_backend,
+                refine_budget=args.refine_budget,
+                refine_frac=args.refine_frac)
+        else:
+            estimate = session.estimate_full_scale(
+                args.baseline, args.candidate, metric=args.metric,
+                cores=args.cores, sample=args.sample, draws=args.draws,
+                sample_sizes=tuple(args.sizes), backend=backend)
+    except UnknownBackendError as error:
+        print(error, file=sys.stderr)
+        return 2
     except ValueError as error:         # e.g. an unknown policy name
         print(error, file=sys.stderr)
         return 2

@@ -36,6 +36,7 @@ from repro.core.population import WorkloadPopulation
 from repro.core.sampling.base import (
     SamplingMethod,
     SamplingPlan,
+    has_fast_block,
     has_fast_path,
 )
 from repro.core.sampling.fastpath import fast_generator
@@ -300,6 +301,34 @@ class PairedConfidenceEstimator:
                                        values)
         return out
 
+    def _draw_pair_rows(self, plans: "Dict[object, SamplingPlan]",
+                        keys: List[object], size: int, seed: int):
+        """One (size, seed) row batch per pair, stacked when fast.
+
+        On the fast path all pairs draw from ONE ``(draws, sum slots)``
+        uniform block of a single generator, each pair consuming its
+        own column span.  Deriving a fresh ``fast_generator(seed,
+        size)`` per pair instead would hand every pair the *identical*
+        uniform block -- perfectly correlated draws masquerading as
+        independent Monte-Carlo experiments -- and pay P generator
+        round trips.  The default MT path is untouched: each pair keeps
+        its own bit-compatible stream.
+        """
+        if self.fast_sampling and \
+                all(has_fast_block(plans[key]) for key in keys):
+            widths = [plans[key].fast_slots(size) for key in keys]
+            block = fast_generator(seed, size).random(
+                (self.draws, sum(widths)))
+            drawn = []
+            column = 0
+            for key, width in zip(keys, widths):
+                drawn.append(plans[key].rows_matrix_fast_block(
+                    size, block[:, column:column + width]))
+                column += width
+            return drawn
+        return [_draw_rows(plans[key], size, self.draws, seed,
+                           self.fast_sampling) for key in keys]
+
     def _fallback_pair_curves(self, methods: "Dict[object, SamplingMethod]",
                               sample_sizes: Sequence[int],
                               seed: int) -> Dict[object, ConfidenceCurve]:
@@ -325,15 +354,20 @@ class PairedConfidenceEstimator:
         weighted-mean reduction run once over a ``(draws, W, P)`` block
         instead of P separate 2-D passes.
 
-        Per pair the results are bit-identical to running that pair's
-        method through a separate :class:`ConfidenceEstimator`: each
-        (pair, size) point draws from its own fresh RNG stream exactly
-        as the single-pair path does, and the reduction's element-wise
-        accumulation order is unchanged (the trailing pair axis only
-        broadcasts).  Pairs whose plans emit ragged widths for a size
-        -- impossible for the built-in methods, which always emit
-        exactly ``size`` slots -- fall back to the per-pair loop, as do
-        methods without a columnar plan.
+        On the default MT path, per-pair results are bit-identical to
+        running that pair's method through a separate
+        :class:`ConfidenceEstimator`: each (pair, size) point draws
+        from its own fresh RNG stream exactly as the single-pair path
+        does, and the reduction's element-wise accumulation order is
+        unchanged (the trailing pair axis only broadcasts).  With
+        ``fast_sampling=True`` the pairs instead share ONE stacked
+        uniform block per size (see :meth:`_draw_pair_rows`), so their
+        draws are decorrelated -- per-pair results then agree with the
+        single-pair fast path at distribution level, not bit for bit.
+        Pairs whose plans emit ragged widths for a size -- impossible
+        for the built-in methods, which always emit exactly ``size``
+        slots -- fall back to the per-pair loop, as do methods without
+        a columnar plan.
 
         Args:
             methods: one sampling method per pair, keyed exactly like
@@ -350,8 +384,7 @@ class PairedConfidenceEstimator:
         keys = list(self.columns)
         batches = []        # per size: (draws, W, P) rows, (W, P) weights
         for size in sample_sizes:
-            drawn = [_draw_rows(plans[key], size, self.draws, seed,
-                                self.fast_sampling) for key in keys]
+            drawn = self._draw_pair_rows(plans, keys, size, seed)
             if len({rows.shape[1] for rows, _ in drawn}) != 1:
                 return self._fallback_pair_curves(methods, sample_sizes,
                                                   seed)

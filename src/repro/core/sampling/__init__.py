@@ -61,6 +61,7 @@ from repro.core.sampling.base import (
     SamplingPlan,
     StratifiedRowPlan,
     WeightedSample,
+    has_fast_block,
     has_fast_path,
 )
 from repro.core.sampling.fastpath import (
@@ -95,6 +96,7 @@ __all__ = [
     "WeightedSample",
     "fast_generator",
     "fast_sampling_default",
+    "has_fast_block",
     "has_fast_path",
     "SimpleRandomSampling",
     "BalancedRandomSampling",

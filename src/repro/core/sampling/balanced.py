@@ -105,9 +105,15 @@ class BalancedRandomPlan(SamplingPlan):
         weights = np.full(size, 1.0 / size)
         return rows, weights
 
-    def rows_matrix_fast(self, size: int, draws: int,
-                         rng: np.random.Generator
-                         ) -> Tuple[np.ndarray, np.ndarray]:
+    def fast_slots(self, size: int) -> int:
+        """Floyd extras plus one shuffle key per benchmark slot."""
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        slots = size * self._cores
+        return slots % self._num_benchmarks + slots
+
+    def rows_matrix_fast_block(self, size: int, uniforms: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
         """Fast draws: Floyd extras + argsort-key shuffles, one block.
 
         The extra slots come from Floyd's distinct sampling and each
@@ -120,17 +126,15 @@ class BalancedRandomPlan(SamplingPlan):
         """
         from repro.core.sampling.fastpath import floyd_distinct
 
-        if size < 1:
-            raise ValueError("sample size must be >= 1")
         b, cores = self._num_benchmarks, self._cores
         slots = size * cores
         base, extra = divmod(slots, b)
-        block = rng.random((draws, extra + slots))
+        draws = uniforms.shape[0]
         pools = np.empty((draws, slots), dtype=np.int64)
         pools[:, :base * b] = np.repeat(np.arange(b, dtype=np.int64), base)
         if extra:
-            pools[:, base * b:] = floyd_distinct(block[:, :extra], b)
-        order = np.argsort(block[:, extra:], axis=1, kind="stable")
+            pools[:, base * b:] = floyd_distinct(uniforms[:, :extra], b)
+        order = np.argsort(uniforms[:, extra:], axis=1, kind="stable")
         pools = np.take_along_axis(pools, order, axis=1)
         codes = np.sort(pools.reshape(draws * size, cores), axis=1)
         rows = self._index.rows_from_codes(codes).reshape(draws, size)

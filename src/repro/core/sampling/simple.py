@@ -40,9 +40,14 @@ class SimpleRandomPlan(SamplingPlan):
         weights = np.full(size, 1.0 / size)
         return rows.reshape(draws, size), weights
 
-    def rows_matrix_fast(self, size: int, draws: int,
-                         rng: np.random.Generator
-                         ) -> Tuple[np.ndarray, np.ndarray]:
+    def fast_slots(self, size: int) -> int:
+        """One uniform column per pick."""
+        if size < 1:
+            raise ValueError("sample size must be >= 1")
+        return size
+
+    def rows_matrix_fast_block(self, size: int, uniforms: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
         """Fast draws: inverse-CDF picks from one uniform block.
 
         Not bit-compatible with :meth:`rows_matrix` (see the
@@ -51,9 +56,7 @@ class SimpleRandomPlan(SamplingPlan):
         """
         from repro.core.sampling.fastpath import uniform_indices
 
-        if size < 1:
-            raise ValueError("sample size must be >= 1")
-        rows = uniform_indices(rng.random((draws, size)), self._n)
+        rows = uniform_indices(uniforms, self._n)
         weights = np.full(size, 1.0 / size)
         return rows, weights
 

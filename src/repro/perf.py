@@ -21,6 +21,13 @@ Four suites, written to the same ``BENCH_analytics.json`` trajectory:
   run stratified confidence estimation -- once against an empty model
   store (``e2e-8core-cold``: training included) and once against the
   store the first run filled (``e2e-8core-warm``: zero training runs).
+  The suite then times :meth:`~repro.api.Session.estimate_two_stage`
+  against the warm store (``e2e-two-stage``: analytic screen plus a
+  budgeted badco refine, with the refine phase broken out as
+  ``e2e-two-stage-refine``).  The sim suite likewise records the
+  event-driven ``run_batch`` entry point serial vs pool-chunked
+  (``sim-batch-parallel-jobs1`` / ``-jobs2``, bit-identical panels;
+  the ratio is what process fan-out buys on the host).
 
 Results serialise as a list of records::
 
@@ -114,9 +121,10 @@ POP_PROFILES: Dict[str, Dict[str, int]] = {
 #: 8-core population, rank-sampled down to ``sample``).
 E2E_PROFILES: Dict[str, Dict[str, object]] = {
     "full": {"benchmarks": 0, "cores": 8, "sample": 10000,
-             "draws": DEFAULT_DRAWS, "sizes": (DEFAULT_SAMPLE_SIZE,)},
+             "draws": DEFAULT_DRAWS, "sizes": (DEFAULT_SAMPLE_SIZE,),
+             "refine_budget": 40},
     "smoke": {"benchmarks": 6, "cores": 8, "sample": 1000,
-              "draws": 200, "sizes": (20,)},
+              "draws": 200, "sizes": (20,), "refine_budget": 6},
 }
 
 
@@ -344,6 +352,28 @@ def run_sim_bench(profile: str = "smoke",
     record("sim-panel-badco", "badco", time.perf_counter() - start,
            campaign.timing.mips)
 
+    # --- the batch entry point on the warm builder: the serial
+    # per-workload loop against the pool-chunked dispatch (bit-equal
+    # panels; the ratio records what process fan-out buys -- about 1x
+    # on a single-core host, where it only pays fork overhead).
+    from repro.sim.badco.multicore import BadcoSimulator
+
+    simulator = BadcoSimulator(cores=cores, policy=SIM_POLICIES[1],
+                               builder=badco_builder,
+                               trace_length=trace_length)
+    start = time.perf_counter()
+    serial_batch = simulator.run_batch(workloads, jobs=1)
+    seconds = time.perf_counter() - start
+    record("sim-batch-parallel-jobs1", "badco", seconds,
+           serial_batch.instructions / seconds / 1e6)
+    start = time.perf_counter()
+    parallel_batch = simulator.run_batch(workloads, jobs=2)
+    seconds = time.perf_counter() - start
+    record("sim-batch-parallel-jobs2", "badco", seconds,
+           parallel_batch.instructions / seconds / 1e6)
+    assert np.array_equal(serial_batch.ipcs, parallel_batch.ipcs), \
+        "pool-chunked run_batch diverged from the serial loop"
+
     # --- the analytic batch path: calibration, then one array call.
     analytic_builder = AnalyticModelBuilder(trace_length, seed,
                                             badco_builder=badco_builder)
@@ -464,10 +494,10 @@ def run_e2e_bench(profile: str = "smoke",
     records: List[Dict[str, object]] = []
 
     def record(name: str, seconds: float, population: int,
-               draws: int = 0) -> None:
+               draws: int = 0, backend: str = "analytic") -> None:
         records.append({
             "name": name, "seconds": seconds, "draws": draws,
-            "population_size": population, "backend": "analytic",
+            "population_size": population, "backend": backend,
         })
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -494,6 +524,25 @@ def run_e2e_bench(profile: str = "smoke",
                            estimate.timings[phase],
                            estimate.population_size,
                            estimate.draws if phase == "confidence" else 0)
+
+        # --- the two-stage driver against the warm store: analytic
+        # screen over the whole frame plus a budgeted badco refine
+        # (the refine phase is the budget's marginal cost).
+        session = Session("small", seed=seed, benchmarks=names,
+                          cache_dir=Path(tmp) / "cache-two-stage",
+                          model_store_dir=store)
+        budget = int(parameters["refine_budget"])  # type: ignore[arg-type]
+        start = time.perf_counter()
+        two_stage = session.estimate_two_stage(
+            "LRU", "DIP", cores=cores,
+            sample=int(parameters["sample"]),  # type: ignore[arg-type]
+            draws=int(parameters["draws"]),  # type: ignore[arg-type]
+            sample_sizes=tuple(parameters["sizes"]),  # type: ignore
+            refine_backend="badco", refine_budget=budget)
+        record("e2e-two-stage", time.perf_counter() - start,
+               two_stage.population_size, two_stage.draws)
+        record("e2e-two-stage-refine", two_stage.timings["refine"],
+               two_stage.refined, backend="badco")
     return records
 
 
@@ -510,6 +559,9 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
             ratios[stem] = seconds / columnar
     for stem, slow, fast in (("sim-panel", "sim-panel-badco",
                               "sim-panel-analytic"),
+                             ("sim-batch-parallel",
+                              "sim-batch-parallel-jobs1",
+                              "sim-batch-parallel-jobs2"),
                              ("pop-store", "pop-store-cold",
                               "pop-store-warm"),
                              ("e2e-8core", "e2e-8core-cold",

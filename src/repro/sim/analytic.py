@@ -344,18 +344,71 @@ class AnalyticModelBuilder:
         return calibration
 
     def _probe_pair_ipc(self, uncore_config: UncoreConfig,
-                        warmup_fraction: float) -> float:
-        """Reuser IPC of the probe pair under one policy's uncore."""
+                        warmup_fraction: float,
+                        reuser: str = PROBE_REUSER,
+                        streamer: str = PROBE_STREAMER) -> float:
+        """Reuser IPC of a probe pair under one policy's uncore."""
         from repro.sim.badco.multicore import BadcoSimulator
 
+        if reuser == streamer:
+            raise ValueError("probe pair needs two distinct benchmarks")
         simulator = BadcoSimulator(
             cores=2, policy=uncore_config.policy, builder=self.badco,
             trace_length=self.trace_length,
             warmup_fraction=warmup_fraction, seed=self.seed,
             uncore_config=uncore_config)
-        run = simulator.run(Workload([PROBE_REUSER, PROBE_STREAMER]))
-        # Workloads canonicalise sorted, so the reuser ("gcc") is core 0.
-        return run.ipcs[0]
+        workload = Workload([reuser, streamer])
+        run = simulator.run(workload)
+        # Workloads canonicalise sorted, so locate the reuser's core.
+        return run.ipcs[list(workload).index(reuser)]
+
+    def probe_protection(self, uncore_config: UncoreConfig,
+                         warmup_fraction: float, reuser: str,
+                         streamer: str) -> float:
+        """Scan resistance measured with one specific probe pair.
+
+        The same three-run experiment :meth:`protection` performs for
+        its canonical gcc+libquantum pair, for an arbitrary
+        (reuser, streamer) pair: the reuser's IPC alone (calibration),
+        next to the streamer under LRU (the unprotected baseline), and
+        next to the streamer under this policy.  Returns
+        ``clip((paired - baseline) / (alone - baseline), 0, 1)`` -- 0
+        when the pair exposes no protectable headroom at all (e.g. an
+        L1-resident reuser), exactly like the canonical probe.
+        Performs up to three simulator runs per call (the alone run is
+        memoised with the calibrations); LRU is 0 by definition.
+        """
+        if uncore_config.policy == "LRU":
+            return 0.0
+        baseline_config = uncore_config.with_policy("LRU")
+        baseline = self._probe_pair_ipc(baseline_config, warmup_fraction,
+                                        reuser, streamer)
+        paired = self._probe_pair_ipc(uncore_config, warmup_fraction,
+                                      reuser, streamer)
+        alone = self.calibrate(reuser, uncore_config, warmup_fraction).ipc
+        headroom = alone - baseline
+        if headroom <= 1e-12:
+            return 0.0
+        return min(max((paired - baseline) / headroom, 0.0), 1.0)
+
+    def probe_matrix(self, uncore_config: UncoreConfig,
+                     reusers: Sequence[str],
+                     streamers: Sequence[str] = (PROBE_STREAMER,),
+                     warmup_fraction: float = 0.25
+                     ) -> Dict[Tuple[str, str], float]:
+        """Per-pair scan-resistance matrix for validation studies.
+
+        Measures :meth:`probe_protection` for every (reuser, streamer)
+        combination, so the single-pair assumption behind the
+        production :meth:`protection` probe can be checked against
+        representatives of each benchmark class instead of trusted
+        blindly.  Not memoised and not persisted -- this is an
+        offline validation tool, not part of the scoring path.
+        """
+        return {(reuser, streamer):
+                self.probe_protection(uncore_config, warmup_fraction,
+                                      reuser, streamer)
+                for reuser in reusers for streamer in streamers}
 
     def protection(self, uncore_config: UncoreConfig,
                    warmup_fraction: float = 0.25) -> float:

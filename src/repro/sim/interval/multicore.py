@@ -8,18 +8,22 @@ from typing import List, Optional
 from repro.bench.generator import DEFAULT_TRACE_LENGTH
 from repro.core.workload import Workload
 from repro.mem.uncore import Uncore, UncoreConfig, uncore_config_for_cores
+from repro.sim.batch import EventDrivenBatchMixin
 from repro.sim.detailed import WorkloadRun, _MeasuredThread
 from repro.sim.interval.machine import IntervalMachine
 from repro.sim.interval.profile import IntervalProfileBuilder
 
 
-class IntervalSimulator:
+class IntervalSimulator(EventDrivenBatchMixin):
     """K interval machines sharing a real uncore.
 
     Interface-compatible with :class:`repro.sim.detailed.
     DetailedSimulator` and :class:`repro.sim.badco.BadcoSimulator`
     (run / reference_ipc / restart semantics), so campaigns and
-    experiments can swap simulator families freely.
+    experiments can swap simulator families freely.  ``run_batch``
+    (via :class:`~repro.sim.batch.EventDrivenBatchMixin`) stacks
+    per-workload runs into the analytic backend's N x K panel
+    contract, optionally chunk-parallel with bit-identical merges.
     """
 
     name = "interval"

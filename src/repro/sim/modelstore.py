@@ -24,7 +24,14 @@ store therefore produces bit-identical results to the cold run that
 filled it -- pinned by ``tests/test_modelstore.py``.
 
 Writes are atomic (temp file + ``os.replace``), so parallel campaigns
-sharing one store directory can race without corrupting entries.
+sharing one store directory can race without corrupting entries.  On
+top of that, every write serialises under an advisory per-store
+:class:`~repro.ioutil.FileLock` (``<root>/.write.lock``): atomicity
+alone keeps *readers* safe, the lock adds writer mutual exclusion --
+the precondition the planned ``repro serve`` daemon's
+single-writer/many-reader layout names.  :meth:`ModelStore.writer_lock`
+exposes the same lock for callers whose critical section spans a
+read-modify-write (e.g. coalescing generation counters).
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.ioutil import atomic_write_bytes
+from repro.ioutil import FileLock, atomic_write_bytes
 from repro.sim.badco.model import BadcoModel, BadcoNode
 
 #: Store format revision, part of every file name.  Bump whenever the
@@ -88,15 +95,44 @@ class ModelStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        self._lock: Optional[FileLock] = None
 
     # ------------------------------------------------------------------
     # Low-level plumbing
+
+    def writer_lock(self) -> FileLock:
+        """The store's advisory writer lock (created lazily).
+
+        Every internal write acquires it, so two processes saving into
+        one store directory serialise their writes.  Callers with a
+        larger critical section (check for an entry, train, save) can
+        hold the same lock around the whole read-modify-write::
+
+            with store.writer_lock():
+                if store.load_record(...) is None:
+                    store.save_record(...)
+
+        The lock is re-entrant per :class:`~repro.ioutil.FileLock`
+        instance, so saves inside such a block do not deadlock.
+        """
+        if self._lock is None:
+            self._lock = FileLock(self.root / ".write.lock")
+        return self._lock
+
+    def __getstate__(self):
+        # Stores travel to pool workers inside pickled builders; the
+        # lock's open file description must not (each process opens
+        # its own).
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
 
     def _path(self, stem: str, suffix: str) -> Path:
         return self.root / f"{stem}-v{MODELSTORE_VERSION}{suffix}"
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
-        atomic_write_bytes(path, data)
+        with self.writer_lock():
+            atomic_write_bytes(path, data)
 
     # ------------------------------------------------------------------
     # BADCO node models

@@ -40,9 +40,9 @@ def test_builtin_backends_registered():
 def test_batch_capability_flags():
     from repro.api import backend_supports_batch
 
-    assert backend_supports_batch(get_backend("analytic"))
-    for name in ("detailed", "badco", "interval"):
-        assert not backend_supports_batch(get_backend(name))
+    for name in ("analytic", "badco", "interval"):
+        assert backend_supports_batch(get_backend(name))
+    assert not backend_supports_batch(get_backend("detailed"))
 
 
 def test_backends_construct_their_simulator_family():

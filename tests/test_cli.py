@@ -63,6 +63,42 @@ def test_estimate_command(tmp_path, capsys, monkeypatch):
     assert "workload-strata" in out
 
 
+def test_estimate_two_stage_command(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_MODEL_STORE_DIR", str(tmp_path / "models"))
+    assert main(["estimate", "LRU", "DIP", "--cores", "2",
+                 "--scale", "small", "--sample", "12", "--draws", "50",
+                 "--sizes", "5", "10", "--refine-backend", "badco",
+                 "--refine-budget", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "two-stage: analytic screen -> badco refine" in out
+    assert "stage 2 (refine, badco)" in out
+    assert "final (spliced) estimate" in out
+
+
+def test_estimate_refine_flags_require_each_other(capsys):
+    assert main(["estimate", "--refine-budget", "3"]) == 2
+    assert "--refine-backend" in capsys.readouterr().err
+    assert main(["estimate", "--refine-backend", "badco"]) == 2
+    assert "--refine-budget or --refine-frac" in capsys.readouterr().err
+
+
+def test_estimate_refine_budget_and_frac_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["estimate", "--refine-backend", "badco",
+             "--refine-budget", "3", "--refine-frac", "0.5"])
+
+
+def test_estimate_rejects_unknown_refine_backend(tmp_path, capsys,
+                                                 monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_MODEL_STORE_DIR", str(tmp_path / "models"))
+    assert main(["estimate", "--refine-backend", "nope",
+                 "--refine-budget", "3"]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
 def test_estimate_rejects_unknown_backend(capsys):
     assert main(["estimate", "--backend", "nope"]) == 2
     assert "nope" in capsys.readouterr().err

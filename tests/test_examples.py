@@ -31,6 +31,15 @@ def hermetic_dirs(tmp_path, monkeypatch):
     return tmp_path
 
 
+def test_two_stage_estimate_example(hermetic_dirs, capsys):
+    module = _load("two_stage_estimate")
+    module.main()
+    out = capsys.readouterr().out
+    assert "two-stage: analytic screen -> badco refine" in out
+    assert "budget accounting:" in out
+    assert "refined 12" in out  # round(0.2 * 60)
+
+
 def test_full_scale_estimate_example(hermetic_dirs, capsys):
     module = _load("full_scale_estimate")
     module.main()

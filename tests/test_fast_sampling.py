@@ -115,12 +115,36 @@ def test_floyd_distinct_rejects_oversized_k():
 
 
 def test_all_builtin_plans_advertise_fast_path(small_population):
+    from repro.core.sampling import has_fast_block
+
     delta = _delta(small_population)
     for method in _methods(small_population, delta):
         plan = method.plan(small_population.index, small_population)
         assert has_fast_path(plan), method.name
+        # All built-ins take caller-supplied uniform blocks too (the
+        # stacked pair_curves path), and the base composition is their
+        # rows_matrix_fast: slots wide, one block.
+        assert has_fast_block(plan), method.name
+        size = 6
+        slots = plan.fast_slots(size)
+        rows_a, w_a = plan.rows_matrix_fast(size, 30, fast_generator(1, size))
+        block = fast_generator(1, size).random((30, slots))
+        rows_b, w_b = plan.rows_matrix_fast_block(size, block)
+        assert np.array_equal(rows_a, rows_b), method.name
+        assert np.array_equal(w_a, w_b), method.name
     assert not has_fast_path(None)
     assert not has_fast_path(SamplingPlan())
+    assert not has_fast_block(None)
+    assert not has_fast_block(SamplingPlan())
+
+    class LegacyFast(SamplingPlan):
+        def rows_matrix_fast(self, size, draws, rng):
+            raise AssertionError("never drawn here")
+
+    # A legacy override alone still advertises the fast path, but not
+    # the block capability pair_curves stacks over.
+    assert has_fast_path(LegacyFast())
+    assert not has_fast_block(LegacyFast())
 
 
 def test_stratified_fast_preserves_layout_and_weights(small_population):
@@ -251,31 +275,81 @@ def test_fast_curve_equals_per_point(small_population):
         assert list(curve.confidence) == per_point, method.name
 
 
-def test_paired_fast_equals_single_pair(small_population):
+def _paired_fixture(small_population, pairs=3, identical=False, draws=200):
     from repro.core.columnar import DeltaColumn
     from repro.core.estimator import PairedConfidenceEstimator
 
     gen = np.random.default_rng(0)
-    deltas = {f"pair{p}": DeltaColumn(small_population.index,
-                                      gen.normal(0.02, 1.0,
-                                                 len(small_population)))
-              for p in range(3)}
+    shared = gen.normal(0.02, 1.0, len(small_population))
+    deltas = {f"pair{p}": DeltaColumn(
+        small_population.index,
+        shared if identical else gen.normal(0.02, 1.0,
+                                            len(small_population)))
+        for p in range(pairs)}
     paired = PairedConfidenceEstimator(small_population, deltas,
-                                       draws=200, fast_sampling=True)
-    sizes = [4, 9]
-    grouped = paired.curve(SimpleRandomSampling(), sizes, seed=5)
+                                       draws=draws, fast_sampling=True)
     methods = {key: WorkloadStratification.from_column(delta,
                                                        min_stratum=5)
                for key, delta in deltas.items()}
-    strata = paired.pair_curves(methods, sizes, seed=5)
+    return deltas, paired, methods
+
+
+def test_paired_fast_grouped_curve_equals_single_pair(small_population):
+    """curve() shares one row batch across pairs: still bit-equal."""
+    deltas, paired, _ = _paired_fixture(small_population)
+    sizes = [4, 9]
+    grouped = paired.curve(SimpleRandomSampling(), sizes, seed=5)
     for key, delta in deltas.items():
         single = ConfidenceEstimator(small_population, delta, draws=200,
                                      fast_sampling=True)
         assert (grouped[key].confidence
                 == single.curve(SimpleRandomSampling(), sizes,
                                 seed=5).confidence)
-        assert (strata[key].confidence
-                == single.curve(methods[key], sizes, seed=5).confidence)
+
+
+def test_pair_curves_fast_single_pair_is_bit_equal(small_population):
+    """With one pair the stacked block IS the single-pair block."""
+    deltas, paired, methods = _paired_fixture(small_population, pairs=1)
+    sizes = [4, 9]
+    strata = paired.pair_curves(methods, sizes, seed=5)
+    (key, delta), = deltas.items()
+    single = ConfidenceEstimator(small_population, delta, draws=200,
+                                 fast_sampling=True)
+    assert (strata[key].confidence
+            == single.curve(methods[key], sizes, seed=5).confidence)
+
+
+def test_pair_curves_fast_agrees_at_distribution_level(small_population):
+    """Stacked multi-pair draws: per-pair MC agreement, not bitwise."""
+    deltas, paired, methods = _paired_fixture(small_population,
+                                              draws=DRAWS)
+    sizes = [4, 9, 15]
+    strata = paired.pair_curves(methods, sizes, seed=5)
+    tolerance = 5 * math.sqrt(0.25 / DRAWS) + 0.02
+    for key, delta in deltas.items():
+        single = ConfidenceEstimator(small_population, delta,
+                                     draws=DRAWS, fast_sampling=True)
+        expected = single.curve(methods[key], sizes, seed=5)
+        for a, b in zip(strata[key].confidence, expected.confidence):
+            assert abs(a - b) < tolerance, key
+
+
+def test_pair_curves_fast_decorrelates_identical_pairs(small_population):
+    """Pairs no longer share one uniform block.
+
+    Deriving ``fast_generator(seed, size)`` per pair handed every pair
+    the *identical* uniforms: with identical deltas and strata, all
+    pairs' confidences came out bitwise equal -- perfectly correlated
+    draws posing as independent experiments.  The stacked block gives
+    each pair its own column span, so identical pairs now produce
+    independent (almost surely differing) curves.
+    """
+    deltas, paired, methods = _paired_fixture(small_population,
+                                              identical=True, draws=400)
+    sizes = [4, 9, 15]
+    strata = paired.pair_curves(methods, sizes, seed=5)
+    curves = [strata[key].confidence for key in deltas]
+    assert any(curves[0] != other for other in curves[1:])
 
 
 # ----------------------------------------------------------------------

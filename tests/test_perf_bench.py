@@ -75,18 +75,23 @@ def test_sim_bench_records_and_speedup():
     records = run_sim_bench(profile="smoke")
     by_name = {r["name"]: r for r in records}
     assert {"sim-train-models", "sim-panel-badco", "sim-calibrate-analytic",
-            "sim-panel-analytic", "sim-workloads-detailed",
+            "sim-panel-analytic", "sim-batch-parallel-jobs1",
+            "sim-batch-parallel-jobs2", "sim-workloads-detailed",
             "sim-workloads-interval"} <= set(by_name)
     for record in records:
         assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SIM_EXTRA_KEYS
         assert record["seconds"] > 0
     for name in ("sim-panel-badco", "sim-panel-analytic",
+                 "sim-batch-parallel-jobs1", "sim-batch-parallel-jobs2",
                  "sim-workloads-detailed", "sim-workloads-interval"):
         assert by_name[name]["mips"] > 0
     # The acceptance bar: the analytic batch builds the same panel at
-    # least 10x faster than the event-driven badco loop.
+    # least 10x faster than the event-driven badco loop.  The batch
+    # entry point's jobs pairing is recorded but makes no speed
+    # promise (a single-core host only pays fork overhead).
     ratios = speedups(records)
     assert ratios["sim-panel"] >= 10
+    assert ratios["sim-batch-parallel"] > 0
 
 
 def test_cli_bench_sim_suite(tmp_path, capsys):
@@ -142,14 +147,20 @@ def test_e2e_bench_records_and_speedup():
     records = run_e2e_bench(profile="smoke")
     by_name = {r["name"]: r for r in records}
     assert {"e2e-8core-cold", "e2e-8core-warm", "e2e-8core-panels",
-            "e2e-8core-confidence"} == set(by_name)
+            "e2e-8core-confidence", "e2e-two-stage",
+            "e2e-two-stage-refine"} == set(by_name)
     for record in records:
         assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SIM_EXTRA_KEYS
         assert record["seconds"] > 0
-        assert record["backend"] == "analytic"
+    assert by_name["e2e-8core-cold"]["backend"] == "analytic"
+    assert by_name["e2e-two-stage-refine"]["backend"] == "badco"
     # The smoke frame rank-samples the 6-benchmark 8-core population.
     assert by_name["e2e-8core-cold"]["population_size"] == 1000
     assert by_name["e2e-8core-cold"]["draws"] == 200
+    # The two-stage record covers the same frame; its refine sibling's
+    # population_size is the rows the budget actually bought.
+    assert by_name["e2e-two-stage"]["population_size"] == 1000
+    assert by_name["e2e-two-stage-refine"]["population_size"] == 6
     # The warm pipeline skips all training (asserted inside the
     # harness) and must beat the cold one decisively.
     ratios = speedups(records)
@@ -164,3 +175,34 @@ def test_cli_bench_e2e_suite(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert any(r["name"] == "e2e-8core-warm" for r in payload)
     assert "speedup e2e-8core" in capsys.readouterr().out
+
+
+def test_checked_in_trajectory_covers_the_hot_paths():
+    """BENCH_analytics.json non-regression: the reference trajectory.
+
+    The checked-in file is the full-profile run the README quotes.
+    This pins its contract: every hot-path record is present, the
+    schema holds, and the headline speedups the suites promise at
+    smoke scale are also true of the recorded reference numbers.
+    """
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_analytics.json"
+    records = json.loads(path.read_text())
+    names = {r["name"] for r in records}
+    assert {"delta-wsu-scalar", "delta-wsu-columnar",
+            "estimator-random-scalar", "estimator-random-columnar",
+            "estimator-workload-strata-fast",
+            "estimator-workload-strata-pairs",
+            "sim-panel-badco", "sim-panel-analytic",
+            "sim-batch-parallel-jobs1", "sim-batch-parallel-jobs2",
+            "pop-store-cold", "pop-store-warm",
+            "e2e-8core-cold", "e2e-8core-warm",
+            "e2e-two-stage", "e2e-two-stage-refine"} <= names
+    assert all(r["seconds"] > 0 for r in records)
+    ratios = speedups(records)
+    assert ratios["sim-panel"] >= 10
+    assert ratios["pop-store"] > 2
+    assert ratios["e2e-8core"] > 2
+    assert ratios["estimator-bench-strata"] > 2
+    assert ratios["sim-batch-parallel"] > 0
