@@ -16,11 +16,31 @@ storage location, not an experiment parameter.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import ClassVar, FrozenSet, Optional, Union
 
 from repro.bench.generator import DEFAULT_TRACE_LENGTH
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Resolve a ``jobs`` request to a concrete worker count.
+
+    ``0`` means *auto*: one worker per available CPU (``os.cpu_count()``,
+    never less than 1), so callers on a 1-core host get the serial path
+    instead of paying pool overhead for nothing -- the degenerate-
+    parallelism footgun the bench trajectory exposed
+    (``sim-batch-parallel-jobs2`` at 0.9x jobs1 on a 1-core runner).
+    Explicit positive values are honoured as given: parallelism is
+    bit-identical by contract, and tests rely on forcing the pool path
+    with ``jobs=2`` even where only one CPU exists.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = auto)")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
 
 #: Results-format revision, part of every cache key.  Bump whenever a
 #: change alters simulated IPCs for identical configs, so stale caches
@@ -42,7 +62,10 @@ class CampaignConfig:
         seed: campaign seed (traces, policies, page layout).
         warmup_fraction: per-thread unmeasured fraction.
         jobs: worker processes for grid simulation; 1 = in-process
-            serial (the default), larger values use a process pool.
+            serial (the default), larger values use a process pool,
+            0 = auto (one worker per CPU via :func:`resolve_jobs`,
+            resolved at construction so the stored field is always a
+            concrete count).
         cache_dir: if set, results persist as JSON under this directory
             keyed by :attr:`cache_key`.
         model_store_dir: if set, trained models (BADCO node models,
@@ -82,8 +105,7 @@ class CampaignConfig:
             raise ValueError("trace_length must be >= 1")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
-        if self.jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        object.__setattr__(self, "jobs", resolve_jobs(self.jobs))
         if self.cache_dir is not None and not isinstance(self.cache_dir, Path):
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
         if self.model_store_dir is not None and \

@@ -145,10 +145,17 @@ class Campaign:
         config: the campaign's identity and execution knobs.
         builder: shared model builder (for backends that use one);
             defaults to a fresh one from the backend, trained lazily.
+        panel_cache: optional :class:`repro.serve.ResidentPanelCache`
+            (duck-typed: ``load(path)`` and ``store(path, results)``).
+            When set, cache loads go through it -- mmap'd, LRU'd and
+            hit/miss counted -- and saves publish the live results back
+            so repeat opens of the same npz skip the disk entirely.
+            ``None`` (the default) keeps the one-shot eager-load path.
     """
 
     def __init__(self, config: CampaignConfig,
-                 builder: Optional[Any] = None) -> None:
+                 builder: Optional[Any] = None,
+                 panel_cache: Optional[Any] = None) -> None:
         self.config = config
         self.backend = get_backend(config.backend)
         self.builder = (builder if builder is not None
@@ -159,8 +166,13 @@ class Campaign:
 
             attach_store(self.builder, config.model_store_dir)
         self.timing = CampaignTiming()
+        self.panel_cache = panel_cache
         self.results = PopulationResults(config.cores, config.backend)
         self._loaded_from_cache = False
+        #: Set by every mutation of ``results``; cleared by ``save``.
+        #: Lets the serve daemon call ``save`` after every query without
+        #: re-serialising an unchanged 10^4-row panel each time.
+        self._dirty = False
         if config.cache_path is not None:
             self._try_load()
 
@@ -200,7 +212,10 @@ class Campaign:
             # newer than the npz (hand-regenerated) wins; a corrupt
             # npz (e.g. a save interrupted mid-write) falls through.
             try:
-                self.results = PopulationResults.load_npz(npz)
+                if self.panel_cache is not None:
+                    self.results = self.panel_cache.load(npz)
+                else:
+                    self.results = PopulationResults.load_npz(npz)
                 self._loaded_from_cache = True
                 return
             except Exception:
@@ -213,16 +228,44 @@ class Campaign:
         """Persist results (no-op without a cache directory).
 
         Writes the JSON interchange file and its ``.npz`` twin side by
-        side; loads prefer the npz.
+        side; loads prefer the npz.  A clean campaign (nothing recorded
+        since the last save or cache load) is a no-op, so warm served
+        queries never re-serialise an unchanged panel.
+
+        Writers serialise on a per-cache-key :class:`repro.ioutil.
+        FileLock` so two processes filling the same cache entry can't
+        interleave their read-modify-write cycles (atomic replaces
+        already keep *readers* safe; mmap'd readers keep the replaced
+        inode alive and simply see the pre-save snapshot).
+
+        Lock ordering: the campaign-cache lock and the
+        :class:`~repro.sim.modelstore.ModelStore` writer lock are never
+        held together -- model training (store lock) completes while
+        grids run, strictly before results persist (cache lock), and
+        nothing under either lock acquires the other.  Any future code
+        that needs both must take the store lock first, matching that
+        existing order.
         """
         path = self.config.cache_path
-        if path is not None:
+        if path is None:
+            return
+        npz = self.config.cache_npz_path
+        if not self._dirty and path.exists() and npz.exists():
+            return
+        from repro.ioutil import FileLock
+
+        with FileLock(path.parent / f"{self.config.cache_key}.lock"):
             path.parent.mkdir(parents=True, exist_ok=True)
             # JSON first, npz second: the npz ends up the newer twin,
             # so _try_load prefers it (a half-written npz from a crash
             # here is caught by the load fallback).
             self.results.save(path)
-            self.results.save_npz(self.config.cache_npz_path)
+            self.results.save_npz(npz)
+        self._dirty = False
+        if self.panel_cache is not None:
+            # Publish the live object under the fresh file identity so
+            # the next open of this npz is a cache hit, not a re-mmap.
+            self.panel_cache.store(npz, self.results)
 
     # ------------------------------------------------------------------
     # Simulation
@@ -241,6 +284,7 @@ class Campaign:
             self.timing.instructions += run.instructions
             self.timing.wall_seconds += run.wall_seconds
             self.results.record(policy, workload, run.ipcs)
+            self._dirty = True
         return self.results.ipcs(policy, workload)
 
     def run_grid(self, workloads: Iterable[Workload],
@@ -266,6 +310,7 @@ class Campaign:
     def _record_batch(self, policy: str, workloads: Sequence[Workload],
                       ipcs, instructions: int, wall: float) -> None:
         self.results.record_batch(policy, workloads, ipcs)
+        self._dirty = True
         self.timing.simulations += len(workloads)
         self.timing.instructions += instructions
         self.timing.wall_seconds += wall
@@ -398,6 +443,7 @@ class Campaign:
             for number, policy in enumerate(policies):
                 self.results.record_batch(policy, todo,
                                           grid.ipcs[:, number, :])
+            self._dirty = True
             return self.results
         self._prepare_builder(
             sorted({name for workload in todo for name in workload}),
@@ -422,6 +468,7 @@ class Campaign:
                 chunk = [Workload.from_key(key) for key in keys]
                 self.results.record_batch(policy, chunk,
                                           ipcs[:, number, :])
+                self._dirty = True
         for keys in chunk_keys:
             ipcs, instructions, wall = merged[keys]
             self.timing.simulations += ipcs.shape[0] * len(policies)
@@ -473,6 +520,7 @@ class Campaign:
                 self.timing.instructions += instructions
                 self.timing.wall_seconds += wall
                 self.results.record(policy, workload, ipcs)
+                self._dirty = True
         return self.results
 
     def reference_ipcs(self, benchmarks: Iterable[str],
@@ -486,6 +534,7 @@ class Campaign:
                 self.timing.instructions += self.config.trace_length
                 self.timing.wall_seconds += time.perf_counter() - started
                 self.results.record_reference(benchmark, ipc)
+                self._dirty = True
         return dict(self.results.reference)
 
     def __repr__(self) -> str:

@@ -254,6 +254,11 @@ class Session:
             :mod:`repro.core.sampling.fastpath`).  ``None`` reads the
             ``REPRO_FAST_SAMPLING`` environment override (off unless
             set truthy).
+        panel_cache: optional resident panel cache (see
+            :class:`repro.serve.ResidentPanelCache`) threaded into the
+            session's campaigns, so npz cache loads are mmap'd, LRU'd
+            and shared across sessions.  ``None`` (the default, and
+            the one-shot CLI path) keeps eager per-campaign loads.
     """
 
     def __init__(self, scale: ScaleLike = Scale.MEDIUM, *, seed: int = 0,
@@ -261,7 +266,8 @@ class Session:
                  cache_dir: Optional[Path] = None,
                  model_store_dir: Optional[Union[str, Path]] = None,
                  benchmarks: Optional[Sequence[str]] = None,
-                 fast_sampling: Optional[bool] = None) -> None:
+                 fast_sampling: Optional[bool] = None,
+                 panel_cache: Optional[Any] = None) -> None:
         from repro.core.sampling.fastpath import fast_sampling_default
 
         self.scale = coerce_scale(scale)
@@ -281,21 +287,64 @@ class Session:
             self.model_store_dir = Path(model_store_dir)
         self.benchmarks = list(benchmarks or benchmark_names())
         self.policies = list(POLICY_NAMES)
-        self._populations: Dict[int, WorkloadPopulation] = {}
+        self.panel_cache = panel_cache
+        self._populations: Dict[Tuple[int, Optional[int]],
+                                WorkloadPopulation] = {}
         self._builders: Dict[Tuple[str, int], Any] = {}
         self._campaigns: Dict[Tuple[str, int], Campaign] = {}
+        # estimate_full_scale's d(w) memo: (backend, cores, sample,
+        # baseline, candidate, metric) -> (DeltaColumn, statistics).
+        # Panels are append-only and reference IPCs cached, so the
+        # column is a pure function of the key; one entry costs one
+        # float64 column (~80 KB at the paper's 10 000-row frame).
+        self._delta_memo: Dict[Tuple[Any, ...], Tuple[Any, Any]] = {}
 
     # ------------------------------------------------------------------
     # Building blocks
 
-    def population(self, cores: int = 2) -> WorkloadPopulation:
-        """The (possibly capped) workload population for a core count."""
-        pop = self._populations.get(cores)
+    @classmethod
+    def from_resident_state(cls, state: Any, scale: ScaleLike,
+                            **kwargs) -> "Session":
+        """A session wired into a serve daemon's resident state.
+
+        The seam that keeps the served and one-shot paths bit-identical
+        by construction: the daemon does not reimplement estimation, it
+        builds ordinary sessions that differ only in sharing the
+        resident state's :class:`~repro.serve.ResidentPanelCache`
+        (mmap'd npz panels, LRU'd across sessions) -- every estimate /
+        study / panel then runs the exact same code as the CLI.  The
+        enumerated :class:`~repro.core.codematrix.CodeMatrix`
+        populations are already shared process-wide via the module
+        cache, and sessions themselves are memoised by
+        :class:`repro.serve.ResidentState`.
+
+        Args:
+            state: anything exposing a ``panel_cache`` attribute
+                (normally a :class:`repro.serve.ResidentState`).
+            scale: as :class:`Session`.
+            **kwargs: remaining :class:`Session` keywords.
+        """
+        return cls(scale, panel_cache=getattr(state, "panel_cache", None),
+                   **kwargs)
+
+    def population(self, cores: int = 2,
+                   sample: Optional[int] = None) -> WorkloadPopulation:
+        """The (possibly capped) workload population for a core count.
+
+        Args:
+            cores: number of cores K.
+            sample: override the frame size (None = the scale's cap).
+                Memoised per ``(cores, sample)``, so repeat estimates
+                with an explicit frame size (the serve daemon's common
+                case) never re-enumerate or re-rank-sample.
+        """
+        pop = self._populations.get((cores, sample))
         if pop is None:
-            cap = self.parameters.population_cap[cores]
+            cap = (sample if sample is not None
+                   else self.parameters.population_cap[cores])
             pop = WorkloadPopulation(self.benchmarks, cores,
                                      max_size=cap, seed=self.seed)
-            self._populations[cores] = pop
+            self._populations[(cores, sample)] = pop
         return pop
 
     def detailed_sample(self, cores: int = 2) -> List[Workload]:
@@ -354,7 +403,8 @@ class Session:
         key = (config.backend, cores)
         campaign = self._campaigns.get(key)
         if campaign is None:
-            campaign = Campaign(config, builder=self.builder(config.backend))
+            campaign = Campaign(config, builder=self.builder(config.backend),
+                                panel_cache=self.panel_cache)
             self._campaigns[key] = campaign
         return campaign
 
@@ -426,6 +476,33 @@ class Session:
             self.population(cores), results.ipc_table(baseline),
             results.ipc_table(candidate), metric_obj, results.reference)
 
+    def estimate_is_warm(self, baseline: str = "LRU",
+                         candidate: str = "DIP", *,
+                         metric: MetricLike = "IPCT", cores: int = 8,
+                         sample: Optional[int] = None,
+                         backend: Optional[str] = None,
+                         **_confidence_knobs) -> bool:
+        """Whether :meth:`estimate_full_scale` would hit the d(w) memo.
+
+        A cheap probe for the serve scheduler: a warm estimate is pure
+        reads (memoised d(w) column plus the seeded confidence draws),
+        so neither the coalescing window nor the shared grid dispatch
+        buys it anything.  Extra keywords (``draws``, ``sample_sizes``,
+        ``min_stratum``, ``fast_sampling``) only shape the confidence
+        phase and are ignored.  Unknown policies, metrics or backends
+        simply report cold -- :meth:`estimate_full_scale` owns the
+        error.
+        """
+        try:
+            metric_obj = (metric_by_name(metric)
+                          if isinstance(metric, str) else metric)
+            key = (get_backend(backend or "analytic").name, cores, sample,
+                   validate_policy_name(baseline),
+                   validate_policy_name(candidate), metric_obj.name)
+        except (KeyError, ValueError):
+            return False
+        return key in self._delta_memo
+
     def estimate_full_scale(self, baseline: str = "LRU",
                             candidate: str = "DIP", *,
                             metric: MetricLike = "IPCT",
@@ -449,6 +526,14 @@ class Session:
         simple random and workload-stratified sampling (vectorized
         draws).  At FULL scale with ``cores=8`` this is the paper's
         4 292 145-workload scenario with a 10 000-workload frame.
+
+        Repeat estimates of the same ``(backend, cores, sample,
+        baseline, candidate, metric)`` within one session replay a
+        memoised d(w) column instead of re-extracting the panel --
+        bit-identical by construction (panels are append-only, the
+        reference IPCs cached), so a warm call pays only the seeded
+        Monte-Carlo confidence draws.  :meth:`estimate_is_warm` probes
+        the memo.
 
         Args:
             baseline / candidate: the LLC policies to compare (X, Y).
@@ -487,30 +572,41 @@ class Session:
         timings: Dict[str, float] = {}
 
         started = time.perf_counter()
-        if sample is None:
-            population = self.population(cores)
-        else:
-            population = WorkloadPopulation(self.benchmarks, cores,
-                                            max_size=sample, seed=self.seed)
+        population = self.population(cores, sample)
         timings["population"] = time.perf_counter() - started
 
-        builder = self.builder(backend)
-        runs_before = self._builder_runs(builder)
-        started = time.perf_counter()
-        results = self.results(backend, cores,
-                               policies=[baseline, candidate],
-                               workloads=list(population))
-        timings["panels"] = time.perf_counter() - started
-        training_runs = self._builder_runs(builder) - runs_before
+        memo_key = (backend, cores, sample, baseline, candidate,
+                    metric_obj.name)
+        memo = self._delta_memo.get(memo_key)
+        if memo is not None:
+            # Warm hit (the serve daemon's repeat-query hot path): the
+            # campaign panels are append-only and the reference IPCs
+            # cached, so the d(w) column is a pure function of the key
+            # -- replaying it is bit-identical and the panel/delta
+            # phases collapse to a dict read.
+            delta, statistics = memo
+            training_runs = 0
+            timings["panels"] = 0.0
+            timings["delta"] = 0.0
+        else:
+            builder = self.builder(backend)
+            runs_before = self._builder_runs(builder)
+            started = time.perf_counter()
+            results = self.results(backend, cores,
+                                   policies=[baseline, candidate],
+                                   workloads=list(population))
+            timings["panels"] = time.perf_counter() - started
+            training_runs = self._builder_runs(builder) - runs_before
 
-        started = time.perf_counter()
-        index, matrices = results.columnar_panel(
-            [baseline, candidate], population)
-        variable = DeltaVariable(metric_obj, results.reference)
-        delta = delta_column_from_matrices(
-            variable, matrices[baseline], matrices[candidate])
-        statistics = delta_statistics(delta.values)
-        timings["delta"] = time.perf_counter() - started
+            started = time.perf_counter()
+            index, matrices = results.columnar_panel(
+                [baseline, candidate], population)
+            variable = DeltaVariable(metric_obj, results.reference)
+            delta = delta_column_from_matrices(
+                variable, matrices[baseline], matrices[candidate])
+            statistics = delta_statistics(delta.values)
+            timings["delta"] = time.perf_counter() - started
+            self._delta_memo[memo_key] = (delta, statistics)
 
         started = time.perf_counter()
         if min_stratum is None:
@@ -620,11 +716,7 @@ class Session:
         timings: Dict[str, float] = {}
 
         started = time.perf_counter()
-        if sample is None:
-            population = self.population(cores)
-        else:
-            population = WorkloadPopulation(self.benchmarks, cores,
-                                            max_size=sample, seed=self.seed)
+        population = self.population(cores, sample)
         frame = list(population)
         timings["population"] = time.perf_counter() - started
 

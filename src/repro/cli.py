@@ -14,6 +14,15 @@ Commands:
                       panels through the batch engine with the warm model
                       store, and run stratified confidence estimation;
 - ``plan``         -- apply the Section VII guideline to a cv value;
+- ``serve``        -- run the resident estimation daemon: models,
+                      enumerated populations and mmap'd panels stay
+                      warm in one process; queries arrive as
+                      newline-framed JSON over a Unix socket or TCP
+                      port and overlapping estimates coalesce into
+                      shared grid dispatches;
+- ``query``        -- query a running serve daemon (ping, stats,
+                      estimate, estimate-two-stage, study, panel,
+                      shutdown);
 - ``experiment``   -- run one of the paper's table/figure drivers;
 - ``bench``        -- time the analytics hot paths (scalar vs columnar)
                       and write ``BENCH_analytics.json``;
@@ -89,7 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulator backend (see `repro.api.BACKENDS`; "
                             f"built in: {', '.join(backend_names())})")
     study.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the campaign (default 1)")
+                       help="worker processes for the campaign "
+                            "(default 1; 0 = one per CPU)")
     study.add_argument("--model-store", default=None,
                        help="directory for persisted trained models "
                             "(default: <cache>/models, '' disables; see "
@@ -117,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
                           default=(10, 30, 100),
                           help="confidence-curve sample sizes W")
     estimate.add_argument("--jobs", type=int, default=1,
-                          help="worker processes for the campaign")
+                          help="worker processes for the campaign "
+                               "(default 1; 0 = one per CPU)")
     estimate.add_argument("--model-store", default=None,
                           help="directory for persisted trained models "
                                "(default: <cache>/models, '' disables)")
@@ -142,11 +153,55 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("cv", type=float)
     plan.add_argument("--sample-size", type=int, default=30)
 
+    serve = sub.add_parser(
+        "serve", help="run the resident estimation daemon")
+    serve.add_argument("--socket", default=None,
+                       help="Unix socket path to bind (exactly one of "
+                            "--socket / --port)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port to bind (0 picks a free port)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="scheduler worker threads (default 4)")
+    serve.add_argument("--window-ms", type=float, default=10.0,
+                       help="coalescing window for estimate queries "
+                            "in milliseconds (default 10)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="campaign cache directory for every served "
+                            "session (default: the scale default)")
+    serve.add_argument("--model-store", default=None,
+                       help="directory for persisted trained models "
+                            "(default: <cache>/models, '' disables)")
+    serve.add_argument("--budget-mb", type=int, default=512,
+                       help="resident panel LRU budget in MiB "
+                            "(default 512)")
+
+    query = sub.add_parser(
+        "query", help="query a running serve daemon")
+    query.add_argument("op", choices=("ping", "stats", "estimate",
+                                      "estimate-two-stage", "study",
+                                      "panel", "shutdown"))
+    query.add_argument("--socket", default=None,
+                       help="the daemon's Unix socket path")
+    query.add_argument("--port", type=int, default=None,
+                       help="the daemon's TCP port")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="request parameter; VALUE is parsed as "
+                            "JSON when possible, else kept as a string "
+                            "(repeatable, e.g. --param cores=4 "
+                            "--param baseline=LRU)")
+    query.add_argument("--timeout", type=float, default=300.0,
+                       help="response timeout in seconds (default 300)")
+
     experiment = sub.add_parser("experiment", help="run a paper artefact")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--scale", type=_parse_scale, default=Scale.SMALL)
     experiment.add_argument("--jobs", type=int, default=1,
-                            help="worker processes for campaigns (default 1)")
+                            help="worker processes for campaigns "
+                                 "(default 1; 0 = one per CPU)")
     experiment.add_argument("--backend", default=None,
                             help="approximate-simulation backend for drivers "
                                  "that take one (e.g. `analytic`; built in: "
@@ -161,7 +216,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="full = the reference configuration "
                             "(4 cores, 1000 draws); smoke = CI-sized")
     bench.add_argument("--suite",
-                       choices=("analytics", "sim", "pop", "e2e", "all"),
+                       choices=("analytics", "sim", "pop", "e2e", "serve",
+                                "all"),
                        default="all",
                        help="analytics = estimator/delta scalar-vs-columnar; "
                             "sim = per-backend panel build (badco loop vs "
@@ -169,7 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "population enumeration/sampling and model-store "
                             "cold-vs-warm campaigns; e2e = the full-scale "
                             "driver (sample -> panels -> stratified "
-                            "confidence), cold vs warm store")
+                            "confidence), cold vs warm store; serve = the "
+                            "resident daemon (cold vs warm served query, "
+                            "concurrent throughput, coalescing ratio, LRU "
+                            "hit rate)")
     bench.add_argument("--draws", type=int, default=None,
                        help="Monte-Carlo draws (overrides the profile)")
     bench.add_argument("--sample-size", type=int, default=None,
@@ -314,17 +373,85 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ReproServer, ResidentState
+
+    if (args.socket is None) == (args.port is None):
+        print("pass exactly one of --socket / --port", file=sys.stderr)
+        return 2
+    state = ResidentState(cache_dir=args.cache_dir,
+                          model_store_dir=args.model_store,
+                          budget_bytes=args.budget_mb << 20)
+    server = ReproServer(state, socket_path=args.socket, port=args.port,
+                         host=args.host, workers=args.workers,
+                         window_seconds=args.window_ms / 1000.0)
+    print(f"repro serve: listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serve import ReproClient, ServerError
+
+    if (args.socket is None) == (args.port is None):
+        print("pass exactly one of --socket / --port", file=sys.stderr)
+        return 2
+    params = {}
+    for item in args.param:
+        key, separator, raw = item.partition("=")
+        if not separator or not key:
+            print(f"--param needs KEY=VALUE, got {item!r}", file=sys.stderr)
+            return 2
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    op = args.op.replace("-", "_")
+    client = ReproClient(socket_path=args.socket, host=args.host,
+                         port=args.port, timeout=args.timeout)
+    try:
+        if op in ("estimate", "estimate_two_stage"):
+            estimate = getattr(client, op)(**params)
+            for row in estimate.rows():
+                print(row)
+        elif op == "shutdown":
+            client.shutdown()
+            print("server stopping")
+        else:
+            print(json.dumps(client.request(op, **params), indent=2,
+                             sort_keys=True))
+    except ServerError as error:
+        print(error, file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"cannot reach server at "
+              f"{args.socket or (args.host, args.port)}: {error}",
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.perf import DEFAULT_SAMPLE_SIZE, PROFILES, run_bench, \
-        run_e2e_bench, run_pop_bench, run_sim_bench, speedups, write_bench
+        run_e2e_bench, run_pop_bench, run_serve_bench, run_sim_bench, \
+        speedups, write_bench
 
     overrides = [name for name, value in
                  (("--draws", args.draws), ("--sample-size",
                                             args.sample_size),
                   ("--cores", args.cores)) if value is not None]
-    if args.suite in ("sim", "pop", "e2e") and overrides:
+    if args.suite in ("sim", "pop", "e2e", "serve") and overrides:
         # These suites run fixed profile grids; silently ignoring the
         # knobs would misreport what was benchmarked.
         print(f"{', '.join(overrides)} only apply to the analytics "
@@ -347,6 +474,8 @@ def _cmd_bench(args) -> int:
         records.extend(run_pop_bench(profile=args.profile))
     if args.suite in ("e2e", "all"):
         records.extend(run_e2e_bench(profile=args.profile))
+    if args.suite in ("serve", "all"):
+        records.extend(run_serve_bench(profile=args.profile))
     print(f"{'benchmark':>34}  {'seconds':>10}  {'draws':>6}  {'N':>8}  "
           f"{'MIPS':>8}")
     for r in records:
@@ -443,6 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": lambda: _cmd_study(args),
         "estimate": lambda: _cmd_estimate(args),
         "plan": lambda: _cmd_plan(args),
+        "serve": lambda: _cmd_serve(args),
+        "query": lambda: _cmd_query(args),
         "experiment": lambda: _cmd_experiment(args),
         "bench": lambda: _cmd_bench(args),
         "lint": lambda: _cmd_lint(args),

@@ -1,6 +1,6 @@
 """Performance harness for the hot paths (``repro bench``).
 
-Four suites, written to the same ``BENCH_analytics.json`` trajectory:
+Five suites, written to the same ``BENCH_analytics.json`` trajectory:
 
 - *analytics* (:func:`run_bench`) -- the statistics stack: Monte-Carlo
   confidence estimation and d(w) construction, legacy scalar vs
@@ -25,9 +25,22 @@ Four suites, written to the same ``BENCH_analytics.json`` trajectory:
   against the warm store (``e2e-two-stage``: analytic screen plus a
   budgeted badco refine, with the refine phase broken out as
   ``e2e-two-stage-refine``).  The sim suite likewise records the
-  event-driven ``run_batch`` entry point serial vs pool-chunked
-  (``sim-batch-parallel-jobs1`` / ``-jobs2``, bit-identical panels;
-  the ratio is what process fan-out buys on the host).
+  event-driven ``run_batch`` entry point serial vs pool-chunked vs
+  auto-sized (``sim-batch-parallel-jobs1`` / ``-jobs2`` / ``-auto``,
+  bit-identical panels; ``-auto`` is ``jobs=0``, one worker per CPU --
+  the ratio is what process fan-out buys on the host);
+- *serve* (:func:`run_serve_bench`) -- the resident-state daemon
+  (:mod:`repro.serve`): the same e2e frame answered by ``repro serve``
+  over a Unix socket.  ``serve-query-cold`` is the daemon's first
+  query (sessions, populations and panels built once, against a warm
+  model store); ``serve-query-warm`` repeats it with everything
+  resident and must be bit-identical to the one-shot driver;
+  ``serve-oneshot-warm`` is that one-shot warm driver baseline (a
+  fresh session per invocation, the CLI's cost model); and
+  ``serve-concurrent`` is a burst of distinct-pair clients whose
+  overlapping grids coalesce into fewer dispatches (request /
+  dispatch-group / coalesced counters and the resident panel LRU hit
+  rate ride along as record extras).
 
 Results serialise as a list of records::
 
@@ -39,7 +52,9 @@ The scalar/columnar pairing is by name suffix
 (``estimator-random-scalar`` vs ``estimator-random-columnar``); the sim
 panel pairing is ``sim-panel-badco`` vs ``sim-panel-analytic``; the
 store pairing is ``pop-store-cold`` vs ``pop-store-warm``; the driver
-pairing is ``e2e-8core-cold`` vs ``e2e-8core-warm``.
+pairing is ``e2e-8core-cold`` vs ``e2e-8core-warm``; the serve
+pairings are ``serve-query-cold`` / ``serve-oneshot-warm`` (and,
+cross-suite, ``e2e-8core-warm``) vs ``serve-query-warm``.
 
 The analytics suite additionally records the PR-7 sampling paths:
 ``estimator-workload-strata-fast`` (the opt-in ``fast_sampling=True``
@@ -126,6 +141,21 @@ E2E_PROFILES: Dict[str, Dict[str, object]] = {
     "smoke": {"benchmarks": 6, "cores": 8, "sample": 1000,
               "draws": 200, "sizes": (20,), "refine_budget": 6},
 }
+
+#: Serve-suite profiles: the e2e frame, served by a resident daemon.
+#: Sized exactly like E2E_PROFILES so ``serve-query-warm`` pairs
+#: meaningfully against the one-shot warm driver records.
+SERVE_PROFILES: Dict[str, Dict[str, object]] = {
+    "full": {"benchmarks": 0, "cores": 8, "sample": 10000,
+             "draws": DEFAULT_DRAWS, "sizes": (DEFAULT_SAMPLE_SIZE,)},
+    "smoke": {"benchmarks": 6, "cores": 8, "sample": 1000,
+              "draws": 200, "sizes": (20,)},
+}
+
+#: The concurrent-burst policy pairs (distinct from the warm query's
+#: LRU/DIP so the burst needs genuinely new panels to coalesce).
+SERVE_BURST_PAIRS = (("LRU", "NRU"), ("LRU", "SRRIP"),
+                     ("NRU", "DIP"), ("SRRIP", "SHIP"))
 
 
 def _time(fn: Callable[[], object], repeat: int = 3) -> float:
@@ -373,6 +403,13 @@ def run_sim_bench(profile: str = "smoke",
            parallel_batch.instructions / seconds / 1e6)
     assert np.array_equal(serial_batch.ipcs, parallel_batch.ipcs), \
         "pool-chunked run_batch diverged from the serial loop"
+    start = time.perf_counter()
+    auto_batch = simulator.run_batch(workloads, jobs=0)
+    seconds = time.perf_counter() - start
+    record("sim-batch-parallel-auto", "badco", seconds,
+           auto_batch.instructions / seconds / 1e6)
+    assert np.array_equal(serial_batch.ipcs, auto_batch.ipcs), \
+        "auto-sized run_batch diverged from the serial loop"
 
     # --- the analytic batch path: calibration, then one array call.
     analytic_builder = AnalyticModelBuilder(trace_length, seed,
@@ -546,6 +583,135 @@ def run_e2e_bench(profile: str = "smoke",
     return records
 
 
+def run_serve_bench(profile: str = "smoke",
+                    seed: int = 0) -> List[Dict[str, object]]:
+    """Time the resident-state daemon against the one-shot driver.
+
+    Primes a model store, times the one-shot warm driver
+    (``serve-oneshot-warm``: a fresh session per invocation, the CLI's
+    cost model), then starts a :class:`~repro.serve.server.ReproServer`
+    on a Unix socket over the same store and times the served path:
+    the daemon's first query (``serve-query-cold``), the fully
+    resident repeat (``serve-query-warm``, asserted bit-identical to
+    the one-shot estimate), and a burst of concurrent distinct-pair
+    clients (``serve-concurrent``) whose overlapping grids must
+    coalesce into fewer dispatches than requests.
+
+    Returns:
+        Bench records; ``serve-oneshot-warm`` vs ``serve-query-warm``
+        carries the headline serving win, and the concurrent record's
+        ``dispatch_groups`` / ``coalesced`` extras plus the warm
+        record's ``hit_rate`` document the scheduler and LRU at work.
+    """
+    import dataclasses
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api import Session
+    from repro.serve import ReproClient, ReproServer, ResidentState
+
+    parameters = SERVE_PROFILES[profile]
+    count = int(parameters["benchmarks"])  # type: ignore[arg-type]
+    names = _pick_sim_benchmarks(count) if count else benchmark_names()
+    cores = int(parameters["cores"])  # type: ignore[arg-type]
+    sample = int(parameters["sample"])  # type: ignore[arg-type]
+    draws = int(parameters["draws"])  # type: ignore[arg-type]
+    sizes = tuple(parameters["sizes"])  # type: ignore[arg-type]
+    records: List[Dict[str, object]] = []
+
+    def record(name: str, seconds: float, population: int,
+               mc_draws: int = 0, **extras: object) -> None:
+        entry: Dict[str, object] = {
+            "name": name, "seconds": seconds, "draws": mc_draws,
+            "population_size": population, "backend": "analytic",
+        }
+        entry.update(extras)
+        records.append(entry)
+
+    query = dict(baseline="LRU", candidate="DIP", scale="small",
+                 seed=seed, benchmarks=list(names), cores=cores,
+                 sample=sample, draws=draws, sample_sizes=list(sizes))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "models"
+        # Prime the model store once; training cost is the pop/e2e
+        # suites' story, not this one's.
+        Session("small", seed=seed, benchmarks=names,
+                cache_dir=Path(tmp) / "cache-prime",
+                model_store_dir=store).estimate_full_scale(
+            "LRU", "DIP", cores=cores, sample=sample, draws=draws,
+            sample_sizes=sizes)
+
+        # The one-shot baseline: what every CLI invocation pays even
+        # with a warm store (fresh session, fresh campaign cache).
+        start = time.perf_counter()
+        oneshot = Session(
+            "small", seed=seed, benchmarks=names,
+            cache_dir=Path(tmp) / "cache-oneshot",
+            model_store_dir=store).estimate_full_scale(
+            "LRU", "DIP", cores=cores, sample=sample, draws=draws,
+            sample_sizes=sizes)
+        record("serve-oneshot-warm", time.perf_counter() - start,
+               oneshot.population_size, oneshot.draws)
+        assert oneshot.training_runs == 0, \
+            "one-shot warm baseline retrained models"
+
+        state = ResidentState(cache_dir=Path(tmp) / "cache-serve",
+                              model_store_dir=store)
+        with ReproServer(state, socket_path=Path(tmp) / "serve.sock") \
+                as server, ReproClient(server.address) as client:
+            start = time.perf_counter()
+            served = client.estimate(**query)
+            record("serve-query-cold", time.perf_counter() - start,
+                   served.population_size, served.draws)
+
+            warm_seconds = _time(lambda: client.estimate(**query),
+                                 repeat=5)
+            warm = client.estimate(**query)
+            mine = dataclasses.asdict(oneshot)
+            theirs = dataclasses.asdict(warm)
+            mine.pop("timings")
+            theirs.pop("timings")
+            assert mine == theirs, \
+                "served warm estimate diverged from the one-shot driver"
+
+            # The concurrent burst: distinct pairs over one population
+            # universe, one client connection each.
+            before = client.stats()["scheduler"]
+
+            def burst(pair):
+                with ReproClient(server.address) as worker:
+                    return worker.estimate(
+                        **{**query, "baseline": pair[0],
+                           "candidate": pair[1]})
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(
+                    max_workers=len(SERVE_BURST_PAIRS)) as pool:
+                burst_estimates = list(pool.map(burst, SERVE_BURST_PAIRS))
+            burst_seconds = time.perf_counter() - start
+            assert all(e.training_runs == 0 for e in burst_estimates)
+            counters = client.stats()["scheduler"]
+            groups = (counters["dispatch_groups"]
+                      - before["dispatch_groups"])
+            coalesced = counters["coalesced"] - before["coalesced"]
+
+            # A same-universe query from a different session (jobs=0
+            # resolves differently but shares the campaign signature)
+            # exercises the resident panel LRU's hit path.
+            client.estimate(**{**query, "jobs": 0})
+
+            panel = client.stats()["panel_cache"]
+            lookups = panel["hits"] + panel["misses"]
+            record("serve-query-warm", warm_seconds,
+                   warm.population_size, warm.draws,
+                   hit_rate=(panel["hits"] / lookups if lookups else 0.0))
+            record("serve-concurrent", burst_seconds,
+                   served.population_size, served.draws,
+                   requests=len(SERVE_BURST_PAIRS),
+                   dispatch_groups=groups, coalesced=coalesced)
+    return records
+
+
 def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
     """Wall-clock ratios: scalar/columnar pairs plus the paired suites."""
     by_name = {str(r["name"]): float(r["seconds"]) for r in records}
@@ -574,7 +740,13 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
                               "estimator-workload-strata-pairs"),
                              ("estimator-workload-strata-kernels",
                               "estimator-workload-strata-kernels-off",
-                              "estimator-workload-strata-kernels-on")):
+                              "estimator-workload-strata-kernels-on"),
+                             ("serve-query", "serve-query-cold",
+                              "serve-query-warm"),
+                             ("serve-oneshot", "serve-oneshot-warm",
+                              "serve-query-warm"),
+                             ("serve-vs-oneshot", "e2e-8core-warm",
+                              "serve-query-warm")):
         numerator = by_name.get(slow)
         denominator = by_name.get(fast)
         if numerator and denominator:

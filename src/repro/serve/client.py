@@ -1,0 +1,138 @@
+"""The Python client for a running serve daemon.
+
+:class:`ReproClient` speaks the newline-framed JSON protocol over one
+persistent connection, numbers its requests, and rebuilds estimate
+responses into the same dataclasses the local API returns::
+
+    with ReproClient(socket_path="/tmp/repro.sock") as client:
+        estimate = client.estimate(baseline="LRU", candidate="DIP",
+                                   scale="small", cores=8)
+        print("\\n".join(estimate.rows()))
+
+A served :class:`~repro.api.session.FullScaleEstimate` compares equal,
+field for field, to one computed by a local
+:meth:`~repro.api.session.Session.estimate_full_scale` with the same
+parameters against the same caches (timings aside -- they measure the
+serving process's phases).
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.api.session import FullScaleEstimate, TwoStageEstimate
+from repro.serve import protocol
+from repro.serve.server import connect
+
+Address = Union[str, Path, Tuple[str, int]]
+
+
+class ServerError(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+
+class ReproClient:
+    """One connection to a serve daemon.
+
+    Args:
+        address: the server's socket path or ``(host, port)``.
+        socket_path / host / port: alternative spelling of the same.
+        timeout: per-response socket timeout in seconds.
+    """
+
+    def __init__(self, address: Optional[Address] = None, *,
+                 socket_path: Optional[Union[str, Path]] = None,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout: Optional[float] = 120.0) -> None:
+        if address is None:
+            if socket_path is not None:
+                address = str(socket_path)
+            elif port is not None:
+                address = (host, int(port))
+            else:
+                raise ValueError("pass address, socket_path or port")
+        self.address = address
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._next_id = 0
+
+    def _connection(self):
+        if self._sock is None:
+            self._sock = connect(self.address, timeout=self._timeout)
+            self._rfile = self._sock.makefile("rb")
+        return self._sock, self._rfile
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._rfile.close()
+                self._sock.close()
+            except OSError:     # pragma: no cover - already torn down
+                pass
+            self._sock = None
+            self._rfile = None
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One round trip; returns the ``result`` payload or raises."""
+        self._next_id += 1
+        request_id = self._next_id
+        sock, rfile = self._connection()
+        sock.sendall(protocol.encode(
+            {"id": request_id, "op": op, "params": params}))
+        message = protocol.read_message(rfile)
+        if message is None:
+            self.close()
+            raise ConnectionError("server closed the connection")
+        if not message.get("ok"):
+            raise ServerError(message.get("error", "unknown server error"))
+        return message.get("result", {})
+
+    # -- typed wrappers -------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Resident-state and scheduler counters (cache hits, groups)."""
+        return self.request("stats")
+
+    def estimate(self, **params: Any) -> FullScaleEstimate:
+        """A served :meth:`Session.estimate_full_scale
+        <repro.api.session.Session.estimate_full_scale>`."""
+        return protocol.estimate_from_wire(self.request("estimate",
+                                                        **params))
+
+    def estimate_two_stage(self, **params: Any) -> TwoStageEstimate:
+        """A served :meth:`Session.estimate_two_stage
+        <repro.api.session.Session.estimate_two_stage>`."""
+        wire = self.request("estimate_two_stage", **params)
+        estimate = protocol.estimate_from_wire(wire)
+        if not isinstance(estimate, TwoStageEstimate):
+            raise ServerError("expected a two-stage estimate")
+        return estimate
+
+    def study(self, **params: Any) -> Dict[str, Any]:
+        """A served policy-comparison study summary."""
+        return self.request("study", **params)
+
+    def panel(self, **params: Any) -> Dict[str, Any]:
+        """A served panel summary (``include_ipcs=True`` for values)."""
+        return self.request("panel", **params)
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (the connection dies with it)."""
+        try:
+            self.request("shutdown")
+        finally:
+            self.close()

@@ -80,17 +80,23 @@ class EventDrivenBatchMixin:
                 contiguous row chunks out over a process pool and
                 merges them in row order -- bit-identical to ``jobs=1``
                 and to calling :meth:`run` per workload, because every
-                run builds its own uncore from fixed seeds.
+                run builds its own uncore from fixed seeds.  ``0`` means
+                auto: one worker per available CPU (see
+                :func:`repro.api.config.resolve_jobs`), which on a
+                1-core host stays serial instead of paying pool
+                overhead for nothing.
 
         Returns:
             A :class:`~repro.sim.analytic.BatchRun` whose
             ``wall_seconds`` sums the per-run simulation walls (the
             comparable cost basis across ``jobs`` settings).
         """
+        from repro.api.config import resolve_jobs
+
         workloads = tuple(workloads)
         if not workloads:
             return BatchRun((), np.empty((0, self.cores)), 0, 0.0)
-        workers = min(int(jobs), len(workloads))
+        workers = min(resolve_jobs(int(jobs)), len(workloads))
         if workers <= 1:
             ipcs = np.empty((len(workloads), self.cores), dtype=np.float64)
             instructions = 0

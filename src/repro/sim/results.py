@@ -293,13 +293,20 @@ class PopulationResults:
     def load(path: Path) -> "PopulationResults":
         return PopulationResults.from_json(Path(path).read_text())
 
-    def save_npz(self, path: Path) -> None:
-        """Persist as compressed NumPy arrays (the fast cache format).
+    def save_npz(self, path: Path, compressed: bool = False) -> None:
+        """Persist as NumPy arrays (the fast cache format).
 
         Per policy: one workload-key string array plus the matching
         N x K float64 panel.  Loads reconstruct via
         :meth:`record_batch`, so a reloaded population keeps the
         columnar fast path -- no mapping rebuild.
+
+        Uncompressed (the default since the serve daemon landed):
+        float64 IPC panels barely deflate, and only ``ZIP_STORED``
+        members can be served by :meth:`load_npz`'s ``mmap_mode`` path
+        (the daemon's resident panels map the cache file instead of
+        materialising it).  Pass ``compressed=True`` to trade the mmap
+        fast path for a smaller file.
         """
         arrays: Dict[str, np.ndarray] = {
             "cores": np.array(self.cores, dtype=np.int64),
@@ -329,12 +336,32 @@ class PopulationResults:
                 panel = panel.reshape(len(rows), self.cores)
             arrays[f"workloads_{number}"] = np.array(keys, dtype=str)
             arrays[f"ipcs_{number}"] = panel
+        save = np.savez_compressed if compressed else np.savez
         with atomic_open(path, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+            save(handle, **arrays)
 
     @staticmethod
-    def load_npz(path: Path) -> "PopulationResults":
-        """Inverse of :meth:`save_npz`; panels stay columnar."""
+    def load_npz(path: Path,
+                 mmap_mode: Optional[str] = None) -> "PopulationResults":
+        """Inverse of :meth:`save_npz`; panels stay columnar.
+
+        Args:
+            path: the ``.npz`` twin to read.
+            mmap_mode: if ``"r"``, IPC panels stored uncompressed in
+                the zip are served as read-only :class:`numpy.memmap`
+                views over the cache file instead of being read into
+                memory -- the ``repro serve`` daemon's resident-panel
+                path.  Pages are faulted in on first touch and shared
+                between processes mapping the same file; a concurrent
+                writer that atomically replaces the cache file leaves
+                existing mappings on the old inode, so a loaded
+                results object is always an internally consistent
+                snapshot.  Compressed members (and the small metadata
+                arrays) silently fall back to an eager read.
+        """
+        mapped: Dict[str, np.ndarray] = {}
+        if mmap_mode is not None:
+            mapped = _mmap_npz_members(path, prefix="ipcs_")
         with np.load(path, allow_pickle=False) as data:
             results = PopulationResults(int(data["cores"]),
                                         str(data["simulator"]))
@@ -344,7 +371,9 @@ class PopulationResults:
                 results.reference[str(name)] = value
             for number, policy in enumerate(data["policy_names"].tolist()):
                 keys = data[f"workloads_{number}"].tolist()
-                panel = data[f"ipcs_{number}"]
+                panel = mapped.get(f"ipcs_{number}")
+                if panel is None:
+                    panel = data[f"ipcs_{number}"]
                 workloads = [Workload.from_key(str(k)) for k in keys]
                 results.record_batch(str(policy), workloads, panel)
         return results
@@ -353,3 +382,59 @@ class PopulationResults:
         return (f"PopulationResults(cores={self.cores}, "
                 f"simulator={self.simulator!r}, policies={self.policies}, "
                 f"entries={len(self)})")
+
+
+def _mmap_npz_members(path: Path, prefix: str) -> Dict[str, np.ndarray]:
+    """Read-only memmaps of the uncompressed ``prefix*`` npz members.
+
+    A ``ZIP_STORED`` member of an npz archive is its ``.npy`` payload
+    byte for byte, so the array data can be mapped in place: walk the
+    member's local file header (30 fixed bytes + name + extra field --
+    read from the *local* record, whose extra field may differ from the
+    central directory's), parse the npy header right behind it, and
+    :class:`numpy.memmap` the payload at the resulting offset.
+
+    Members that are compressed, object-typed, or oddly shaped are
+    simply skipped (the caller falls back to the eager ``np.load``
+    read), as is the whole archive on any parse error -- mmap is a fast
+    path, never a correctness dependency.
+    """
+    import zipfile
+
+    from numpy.lib import format as npy_format
+
+    path = Path(path)
+    members: Dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+            for info in archive.infolist():
+                name = info.filename
+                if not (name.startswith(prefix) and name.endswith(".npy")):
+                    continue
+                if info.compress_type != zipfile.ZIP_STORED:
+                    continue
+                raw.seek(info.header_offset)
+                header = raw.read(30)
+                if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                    continue
+                name_length = int.from_bytes(header[26:28], "little")
+                extra_length = int.from_bytes(header[28:30], "little")
+                raw.seek(info.header_offset + 30 + name_length
+                         + extra_length)
+                version = npy_format.read_magic(raw)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        npy_format.read_array_header_1_0(raw)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        npy_format.read_array_header_2_0(raw)
+                else:
+                    continue
+                if dtype.hasobject:
+                    continue
+                members[name[: -len(".npy")]] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=raw.tell(),
+                    shape=shape, order="F" if fortran else "C")
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return {}
+    return members

@@ -170,11 +170,33 @@ def test_config_validation():
     with pytest.raises(ValueError):
         CampaignConfig(cores=0)
     with pytest.raises(ValueError):
-        CampaignConfig(jobs=0)
+        CampaignConfig(jobs=-1)
     with pytest.raises(ValueError):
         CampaignConfig(warmup_fraction=1.0)
     with pytest.raises(ValueError):
         CampaignConfig(trace_length=0)
+
+
+def test_jobs_zero_means_one_worker_per_cpu():
+    """The jobs=0 auto knob (and its resolver) across the API layers.
+
+    ``jobs=2`` on a single-core host only pays fork overhead, so the
+    config, the batch entry points and the CLI all accept ``jobs=0``
+    as "size the pool to the machine".
+    """
+    import os
+
+    from repro.api.config import resolve_jobs
+
+    expected = max(1, os.cpu_count() or 1)
+    assert resolve_jobs(0) == expected
+    assert resolve_jobs(3) == 3            # explicit counts are honored
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+    assert CampaignConfig(jobs=0).jobs == expected
+    # Auto-sized jobs stay an execution knob: same cache identity.
+    assert (CampaignConfig(jobs=0).cache_key
+            == CampaignConfig(jobs=1).cache_key)
 
 
 def test_campaign_rejects_unknown_backend():

@@ -10,6 +10,9 @@ SCHEMA_KEYS = {"name", "seconds", "draws", "population_size"}
 SIM_EXTRA_KEYS = {"backend", "mips"}
 #: Analytics kernel records flag whether numba was importable.
 ANALYTICS_EXTRA_KEYS = {"kernels_available"}
+#: Serve-suite records add the scheduler/LRU counters of the run.
+SERVE_EXTRA_KEYS = {"backend", "hit_rate", "requests",
+                    "dispatch_groups", "coalesced"}
 
 
 def _smoke_records():
@@ -76,13 +79,15 @@ def test_sim_bench_records_and_speedup():
     by_name = {r["name"]: r for r in records}
     assert {"sim-train-models", "sim-panel-badco", "sim-calibrate-analytic",
             "sim-panel-analytic", "sim-batch-parallel-jobs1",
-            "sim-batch-parallel-jobs2", "sim-workloads-detailed",
+            "sim-batch-parallel-jobs2", "sim-batch-parallel-auto",
+            "sim-workloads-detailed",
             "sim-workloads-interval"} <= set(by_name)
     for record in records:
         assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SIM_EXTRA_KEYS
         assert record["seconds"] > 0
     for name in ("sim-panel-badco", "sim-panel-analytic",
                  "sim-batch-parallel-jobs1", "sim-batch-parallel-jobs2",
+                 "sim-batch-parallel-auto",
                  "sim-workloads-detailed", "sim-workloads-interval"):
         assert by_name[name]["mips"] > 0
     # The acceptance bar: the analytic batch builds the same panel at
@@ -177,6 +182,40 @@ def test_cli_bench_e2e_suite(tmp_path, capsys):
     assert "speedup e2e-8core" in capsys.readouterr().out
 
 
+def test_serve_bench_records_and_speedup():
+    from repro.perf import run_serve_bench
+
+    records = run_serve_bench(profile="smoke")
+    by_name = {r["name"]: r for r in records}
+    assert {"serve-oneshot-warm", "serve-query-cold", "serve-query-warm",
+            "serve-concurrent"} == set(by_name)
+    for record in records:
+        assert SCHEMA_KEYS <= set(record) <= SCHEMA_KEYS | SERVE_EXTRA_KEYS
+        assert record["seconds"] > 0
+    # The coalescing contract: the burst's M requests dispatched
+    # strictly fewer grids than M, and the resident LRU saw hits.
+    concurrent = by_name["serve-concurrent"]
+    assert concurrent["dispatch_groups"] < concurrent["requests"]
+    assert (concurrent["coalesced"]
+            == concurrent["requests"] - concurrent["dispatch_groups"])
+    assert by_name["serve-query-warm"]["hit_rate"] > 0
+    # The serving win: a resident warm query beats both the daemon's
+    # own cold query and the one-shot warm driver.
+    ratios = speedups(records)
+    assert ratios["serve-query"] > 1
+    assert ratios["serve-oneshot"] > 1
+
+
+def test_cli_bench_serve_suite(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--profile", "smoke", "--suite", "serve",
+                 "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert any(r["name"] == "serve-query-warm" for r in payload)
+    assert "speedup serve-query" in capsys.readouterr().out
+
+
 def test_checked_in_trajectory_covers_the_hot_paths():
     """BENCH_analytics.json non-regression: the reference trajectory.
 
@@ -196,9 +235,12 @@ def test_checked_in_trajectory_covers_the_hot_paths():
             "estimator-workload-strata-pairs",
             "sim-panel-badco", "sim-panel-analytic",
             "sim-batch-parallel-jobs1", "sim-batch-parallel-jobs2",
+            "sim-batch-parallel-auto",
             "pop-store-cold", "pop-store-warm",
             "e2e-8core-cold", "e2e-8core-warm",
-            "e2e-two-stage", "e2e-two-stage-refine"} <= names
+            "e2e-two-stage", "e2e-two-stage-refine",
+            "serve-oneshot-warm", "serve-query-cold",
+            "serve-query-warm", "serve-concurrent"} <= names
     assert all(r["seconds"] > 0 for r in records)
     ratios = speedups(records)
     assert ratios["sim-panel"] >= 10
@@ -206,3 +248,7 @@ def test_checked_in_trajectory_covers_the_hot_paths():
     assert ratios["e2e-8core"] > 2
     assert ratios["estimator-bench-strata"] > 2
     assert ratios["sim-batch-parallel"] > 0
+    # The serve acceptance bar: a resident warm query answers at
+    # >= 10x lower latency than the per-invocation warm driver.
+    assert ratios["serve-vs-oneshot"] >= 10
+    assert ratios["serve-query"] > 1
