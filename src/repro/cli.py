@@ -252,6 +252,53 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rules", action="store_true",
                       help="list the rules and their motivations, then "
                            "exit")
+
+    report = sub.add_parser(
+        "report", help="render, diff, and track bench trajectories")
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+
+    show = report_sub.add_parser(
+        "show", help="render one trajectory (suites, ratios, hot paths)")
+    show.add_argument("path", nargs="?", default="BENCH_analytics.json",
+                      help="trajectory file (default: the committed "
+                           "BENCH_analytics.json)")
+    show.add_argument("--suite", default=None,
+                      help="restrict to one suite")
+    show.add_argument("--format", choices=("text", "json", "csv"),
+                      default="text", help="output format")
+
+    diff = report_sub.add_parser(
+        "diff", help="gate a candidate trajectory against a baseline "
+                     "(exit 1 on regression)")
+    diff.add_argument("--baseline", default="BENCH_analytics.json",
+                      help="reference trajectory (default: the committed "
+                           "BENCH_analytics.json)")
+    diff.add_argument("--candidate", required=True,
+                      help="trajectory under test")
+    diff.add_argument("--threshold-scale", type=float, default=1.0,
+                      help="multiply every THRESHOLDS entry (CI uses >1 "
+                           "on noisy shared runners)")
+    diff.add_argument("--format", choices=("text", "json", "csv"),
+                      default="text", help="output format")
+
+    trend = report_sub.add_parser(
+        "trend", help="per-record series across the run-history store")
+    trend.add_argument("--history", default=None,
+                       help="history store (default: "
+                            ".repro/bench-history.jsonl)")
+    trend.add_argument("--names", nargs="*", default=None,
+                       help="glob patterns selecting records "
+                            "(default: all)")
+    trend.add_argument("--format", choices=("text", "json", "csv"),
+                       default="text", help="output format")
+
+    record = report_sub.add_parser(
+        "record", help="append a trajectory to the run-history store")
+    record.add_argument("--input", default="BENCH_analytics.json",
+                        help="trajectory file to record")
+    record.add_argument("--history", default=None,
+                        help="history store (default: "
+                             ".repro/bench-history.jsonl)")
     return parser
 
 
@@ -485,9 +532,58 @@ def _cmd_bench(args) -> int:
     for stem, ratio in speedups(records).items():
         print(f"speedup {stem}: {ratio:.1f}x")
     if args.output:
-        write_bench(Path(args.output), records)
+        write_bench(Path(args.output), records, profile=args.profile)
         print(f"wrote {args.output}")
     return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.report import (
+        DEFAULT_HISTORY, ReportError, append_run, diff_runs, load_bench,
+        load_history, render_diff, render_run, render_trend, trend_series,
+    )
+
+    try:
+        if args.report_command == "show":
+            run = load_bench(args.path)
+            if args.suite is not None and args.suite not in run.suites:
+                print(f"{args.path} has no {args.suite!r} suite "
+                      f"(suites: {', '.join(run.suites)})",
+                      file=sys.stderr)
+                return 2
+            print(render_run(run, fmt=args.format, suite=args.suite),
+                  end="")
+            return 0
+        if args.report_command == "diff":
+            if args.threshold_scale <= 0:
+                print("--threshold-scale must be positive",
+                      file=sys.stderr)
+                return 2
+            baseline = load_bench(args.baseline)
+            candidate = load_bench(args.candidate)
+            result = diff_runs(baseline, candidate,
+                               threshold_scale=args.threshold_scale)
+            print(render_diff(result, fmt=args.format), end="")
+            return 0 if result.ok else 1
+        if args.report_command == "trend":
+            history = Path(args.history or DEFAULT_HISTORY)
+            series = trend_series(load_history(history),
+                                  names=args.names or None)
+            print(render_trend(series, fmt=args.format), end="")
+            return 0
+        if args.report_command == "record":
+            history = Path(args.history or DEFAULT_HISTORY)
+            run = load_bench(args.input)
+            index = append_run(history, run)
+            print(f"recorded {args.input} as run {index} in {history}")
+            return 0
+    except ReportError as error:
+        print(error, file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled report command "
+                         f"{args.report_command!r}")
 
 
 def _cmd_lint(args) -> int:
@@ -577,6 +673,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": lambda: _cmd_experiment(args),
         "bench": lambda: _cmd_bench(args),
         "lint": lambda: _cmd_lint(args),
+        "report": lambda: _cmd_report(args),
     }
     try:
         return handlers[args.command]()

@@ -69,7 +69,6 @@ estimator loop vs the fig6 pair-batched
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import tempfile
@@ -83,7 +82,6 @@ from repro.bench.spec import benchmark_names
 from repro.core.delta import DeltaVariable
 from repro.core.estimator import ConfidenceEstimator, PairedConfidenceEstimator
 from repro.core.metrics import WSU
-from repro.ioutil import atomic_write_text
 from repro.core.population import WorkloadPopulation
 from repro.core.sampling import (
     BenchmarkStratification,
@@ -754,5 +752,16 @@ def speedups(records: List[Dict[str, object]]) -> Dict[str, float]:
     return ratios
 
 
-def write_bench(path: Path, records: List[Dict[str, object]]) -> None:
-    atomic_write_text(path, json.dumps(records, indent=2) + "\n")
+def write_bench(path: Path, records: List[Dict[str, object]],
+                profile: Optional[str] = None) -> None:
+    """Persist a bench run as a schema-2 trajectory envelope.
+
+    Records gain their ``suite`` and the run's ``profile`` at write
+    time, and the envelope carries the machine context plus the
+    derived speedup ratios (see :mod:`repro.report.records`; the
+    loader still accepts the historical bare-list shape).
+    """
+    # Imported lazily: repro.report imports this module for speedups().
+    from repro.report.records import bench_run, save_bench
+
+    save_bench(path, bench_run(records, profile=profile))

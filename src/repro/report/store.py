@@ -1,0 +1,136 @@
+"""Append-only run-history store (``.repro/bench-history.jsonl``).
+
+Every recorded bench run becomes one compact JSON line --
+``{"recorded_at": ..., **envelope}`` -- so the store is a plain JSONL
+file that diffs, greps, and truncates cleanly.  Appends take the store
+lock and rewrite the file atomically through :mod:`repro.ioutil`, so a
+crashed writer can never leave a torn line behind and concurrent
+``repro report record`` invocations serialise instead of interleaving.
+
+:func:`trend_series` turns the history into per-record wall-clock
+series (``repro report trend``): each point carries the run's commit
+and profile plus the relative change against the previous sighting of
+the same record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from fnmatch import fnmatchcase
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ioutil import FileLock, atomic_write_text
+from repro.report.records import (
+    BenchRun,
+    ReportError,
+    bench_run_from_payload,
+)
+
+#: Default history path, relative to the working directory.
+DEFAULT_HISTORY = ".repro/bench-history.jsonl"
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One recorded run: its position, timestamp, and trajectory."""
+
+    index: int
+    recorded_at: Optional[str]
+    run: BenchRun
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One record's measurement within one history entry."""
+
+    index: int
+    recorded_at: Optional[str]
+    git_commit: Optional[str]
+    profile: Optional[str]
+    seconds: float
+    #: Relative change vs the previous sighting (None for the first).
+    relative: Optional[float]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def append_run(path: Union[str, Path], run: BenchRun,
+               recorded_at: Optional[str] = None) -> int:
+    """Append one run to the history store; returns its index.
+
+    The whole file is rewritten atomically under the store lock: the
+    one blessed way to extend a persisted artefact in this repo (the
+    invariant linter rejects bare append-mode writes to final paths).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(
+        {"recorded_at": recorded_at or _utc_now(), **run.to_dict()},
+        sort_keys=True)
+    with FileLock(path.with_name(path.name + ".lock")):
+        existing = path.read_text() if path.exists() else ""
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+        atomic_write_text(path, existing + line + "\n")
+        return sum(1 for text in existing.splitlines() if text.strip())
+
+
+def load_history(path: Union[str, Path]) -> List[HistoryEntry]:
+    """Load every run recorded in the history store, oldest first."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[HistoryEntry] = []
+    for number, text in enumerate(path.read_text().splitlines(), 1):
+        if not text.strip():
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReportError(
+                f"{path}:{number}: invalid history line: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ReportError(f"{path}:{number}: history line must be "
+                              f"an object")
+        recorded_at = payload.get("recorded_at")
+        run = bench_run_from_payload(payload,
+                                     source=f"{path}:{number}")
+        entries.append(HistoryEntry(index=len(entries),
+                                    recorded_at=recorded_at, run=run))
+    return entries
+
+
+def trend_series(entries: Sequence[HistoryEntry],
+                 names: Optional[Sequence[str]] = None,
+                 ) -> Dict[str, List[TrendPoint]]:
+    """Per-record wall-clock series across the history.
+
+    Args:
+        names: optional glob patterns; only records matching at least
+            one are included (default: every record ever seen).
+    """
+    series: Dict[str, List[TrendPoint]] = {}
+    for entry in entries:
+        for record in entry.run.records:
+            if names is not None and not any(
+                    fnmatchcase(record.name, pattern)
+                    for pattern in names):
+                continue
+            points = series.setdefault(record.name, [])
+            previous = points[-1].seconds if points else None
+            relative = (None if previous is None
+                        else (record.seconds - previous) / previous)
+            points.append(TrendPoint(
+                index=entry.index,
+                recorded_at=entry.recorded_at,
+                git_commit=entry.run.context.git_commit,
+                profile=record.profile,
+                seconds=record.seconds,
+                relative=relative))
+    return dict(sorted(series.items()))

@@ -632,12 +632,23 @@ class AnalyticSimulator:
         Every step is element-wise or reduces along the trailing core
         axis, so each policy's N x K slice computes exactly as a
         single-policy evaluation would -- the policy axis is pure
-        broadcast.
+        broadcast.  The gathers are normalised to C order: advanced
+        indexing ``vec[...][:, codes]`` leaves the policy axis innermost
+        for P >= 2, and the core-axis reductions below round differently
+        over that layout than over the (trivially contiguous) P == 1
+        case -- up to a few ULP, enough to make a singleton-grid
+        dispatch disagree with the same policy's slice of a multi-policy
+        grid.  With every operand C-contiguous the reduction order is
+        shape-independent and the slices are bit-identical for any P.
         """
         config = self.uncore_config
         llc_lines = config.llc_size / config.memory.line_bytes
 
-        footprint = vec["footprint"][:, codes]                   # P x N x K
+        def gather(array: np.ndarray) -> np.ndarray:
+            """``array[:, codes]`` in C order (P x N x K)."""
+            return np.ascontiguousarray(array[:, codes])
+
+        footprint = gather(vec["footprint"])                     # P x N x K
         # Each co-runner pressures the shared LLC with its footprint,
         # discounted by the policy's measured scan resistance times how
         # streaming the co-runner is (its standalone miss ratio): a
@@ -647,7 +658,7 @@ class AnalyticSimulator:
         per_bench_pressure = (vec["footprint"]
                               * (1.0 - protections[:, None]
                                  * vec["miss_ratio"]))           # P x B
-        pressure = per_bench_pressure[:, codes]                  # P x N x K
+        pressure = gather(per_bench_pressure)                    # P x N x K
         # Pressure felt by thread b: its own full footprint plus the
         # discounted footprints of everyone else.
         felt = pressure.sum(axis=-1)[..., None] - pressure + footprint
@@ -661,9 +672,9 @@ class AnalyticSimulator:
             llc_lines / np.maximum(felt, 1.0),
             llc_lines / (codes.shape[1] * footprint)))
         survival = np.minimum(
-            1.0, shared_resident / alone_resident[:, codes])
+            1.0, shared_resident / gather(alone_resident))
         # A standalone hit survives sharing with probability `survival`.
-        miss_ratio = 1.0 - (1.0 - vec["miss_ratio"][:, codes]) * survival
+        miss_ratio = 1.0 - (1.0 - gather(vec["miss_ratio"])) * survival
 
         # Bus queueing: co-runner miss traffic (misses per cycle, using
         # standalone pass times as the rate basis) occupies the FSB for
@@ -673,23 +684,23 @@ class AnalyticSimulator:
         # calibrated extra_per_miss, which keeps a solo thread exactly
         # at its reference IPC.
         transfer = float(config.memory.transfer_cycles)
-        rates = (vec["requests"][:, codes] * miss_ratio
-                 / vec["alone_cycles"][:, codes])
+        rates = (gather(vec["requests"]) * miss_ratio
+                 / gather(vec["alone_cycles"]))
         others = rates.sum(axis=-1)[..., None] - rates
         utilisation = np.minimum(others * transfer, MAX_BUS_UTILISATION)
         queue_wait = transfer * utilisation / (1.0 - utilisation)
-        extra = vec["extra"][:, codes] + queue_wait
+        extra = gather(vec["extra"]) + queue_wait
 
         # Per-pass time, alone and shared, from the same expression; the
         # measured standalone IPC anchors the absolute level, so only
         # the contention *ratio* is analytic.
-        sensitivity = vec["sensitivity"][:, codes]
-        intrinsic = vec["intrinsic"][:, codes]
+        sensitivity = gather(vec["sensitivity"])
+        intrinsic = gather(vec["intrinsic"])
         alone_time = (intrinsic + sensitivity
-                      * vec["miss_ratio"][:, codes] * vec["extra"][:, codes])
+                      * gather(vec["miss_ratio"]) * gather(vec["extra"]))
         shared_time = intrinsic + sensitivity * miss_ratio * extra
-        return vec["alone_ipc"][:, codes] * (alone_time
-                                             / np.maximum(shared_time, 1.0))
+        return gather(vec["alone_ipc"]) * (alone_time
+                                           / np.maximum(shared_time, 1.0))
 
     # ------------------------------------------------------------------
 

@@ -293,6 +293,33 @@ def test_run_batch_grid_slices_match_per_policy_batches(parity_population):
         assert np.array_equal(grid.panel(policy), panel)
 
 
+def test_singleton_grid_matches_multi_policy_slice_at_scale():
+    """A P == 1 dispatch is bit-identical to the same policy's slice.
+
+    Regression pin for the documented 1-ULP wrinkle: advanced indexing
+    leaves P >= 2 gathers policy-minor (non-C-contiguous), so the
+    core-axis reductions used to round differently than the trivially
+    contiguous P == 1 case -- an incrementally reused one-shot cache
+    (one policy pending -> singleton dispatch) then disagreed with the
+    serve daemon's multi-policy grids at up to ~9 ULP.  The wrinkle
+    only shows at wide frames, hence the 8-core 1000-workload scale.
+    """
+    population = WorkloadPopulation(PARITY_BENCHMARKS, 8, max_size=1000,
+                                    seed=0)
+    workloads = list(population)
+    builder = AnalyticModelBuilder(TEST_TRACE_LENGTH, 0)
+    simulator = AnalyticSimulator(8, "LRU", builder=builder,
+                                  trace_length=TEST_TRACE_LENGTH)
+    trio = simulator.run_batch_grid(workloads, ("LRU", "DIP", "NRU"))
+    duo = simulator.run_batch_grid(workloads, ("LRU", "DIP"))
+    solo = simulator.run_batch_grid(workloads, ("LRU",))
+    batch = simulator.run_batch(workloads)
+    assert np.array_equal(solo.ipcs[:, 0, :], batch.ipcs)
+    assert np.array_equal(duo.ipcs[:, 0, :], solo.ipcs[:, 0, :])
+    assert np.array_equal(trio.ipcs[:, 0, :], solo.ipcs[:, 0, :])
+    assert np.array_equal(trio.ipcs[:, 1, :], duo.ipcs[:, 1, :])
+
+
 def test_run_batch_grid_row_chunking_is_bit_identical(parity_population):
     builder = AnalyticModelBuilder(TEST_TRACE_LENGTH, 0)
     simulator = AnalyticSimulator(2, "LRU", builder=builder,

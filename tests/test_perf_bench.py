@@ -55,10 +55,42 @@ def test_speedups_pair_scalar_with_columnar():
 
 
 def test_write_bench_round_trips(tmp_path):
+    from repro.report import SCHEMA_VERSION, load_bench
+
     records = _smoke_records()
     path = tmp_path / "BENCH_analytics.json"
-    write_bench(path, records)
-    assert json.loads(path.read_text()) == records
+    write_bench(path, records, profile="smoke")
+    payload = json.loads(path.read_text())
+    # Schema 2: an envelope with context and derived ratios; each
+    # record gains its suite and the run's profile at write time.
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["profile"] == "smoke"
+    assert payload["speedups"] == speedups(records)
+    assert {"cpu_count", "python", "numpy",
+            "kernels_available"} <= set(payload["context"])
+    stripped = [{k: v for k, v in r.items()
+                 if k not in ("suite", "profile")}
+                for r in payload["records"]]
+    assert stripped == records
+    assert all(r["suite"] == "analytics" and r["profile"] == "smoke"
+               for r in payload["records"])
+    run = load_bench(path)
+    assert run.schema == SCHEMA_VERSION
+    assert run.profile == "smoke"
+    assert [r.name for r in run.records] == [r["name"] for r in records]
+
+
+def test_load_bench_accepts_the_old_bare_list_shape(tmp_path):
+    from repro.report import load_bench
+
+    records = _smoke_records()
+    path = tmp_path / "BENCH_v1.json"
+    path.write_text(json.dumps(records))
+    run = load_bench(path)
+    assert run.schema == 1
+    assert run.profile is None
+    assert run.speedups == speedups(records)
+    assert [r.name for r in run.records] == [r["name"] for r in records]
 
 
 def test_cli_bench_writes_output(tmp_path, capsys):
@@ -68,8 +100,10 @@ def test_cli_bench_writes_output(tmp_path, capsys):
                  "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert all(SCHEMA_KEYS <= set(r) <= SCHEMA_KEYS | ANALYTICS_EXTRA_KEYS
-               for r in payload)
+    record_keys = SCHEMA_KEYS | {"suite", "profile"}
+    assert all(record_keys <= set(r)
+               <= record_keys | ANALYTICS_EXTRA_KEYS
+               for r in payload["records"])
     stdout = capsys.readouterr().out
     assert "speedup estimator-random" in stdout
 
@@ -105,7 +139,8 @@ def test_cli_bench_sim_suite(tmp_path, capsys):
                  "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert any(r["name"] == "sim-panel-analytic" for r in payload)
+    assert any(r["name"] == "sim-panel-analytic"
+               for r in payload["records"])
     assert "speedup sim-panel" in capsys.readouterr().out
 
 
@@ -135,7 +170,8 @@ def test_cli_bench_pop_suite(tmp_path, capsys):
                  "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert any(r["name"] == "pop-enumerate-8core" for r in payload)
+    assert any(r["name"] == "pop-enumerate-8core"
+               for r in payload["records"])
     assert "speedup pop-store" in capsys.readouterr().out
 
 
@@ -178,7 +214,8 @@ def test_cli_bench_e2e_suite(tmp_path, capsys):
                  "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert any(r["name"] == "e2e-8core-warm" for r in payload)
+    assert any(r["name"] == "e2e-8core-warm"
+               for r in payload["records"])
     assert "speedup e2e-8core" in capsys.readouterr().out
 
 
@@ -212,7 +249,8 @@ def test_cli_bench_serve_suite(tmp_path, capsys):
                  "--output", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert any(r["name"] == "serve-query-warm" for r in payload)
+    assert any(r["name"] == "serve-query-warm"
+               for r in payload["records"])
     assert "speedup serve-query" in capsys.readouterr().out
 
 
@@ -220,35 +258,29 @@ def test_checked_in_trajectory_covers_the_hot_paths():
     """BENCH_analytics.json non-regression: the reference trajectory.
 
     The checked-in file is the full-profile run the README quotes.
-    This pins its contract: every hot-path record is present, the
-    schema holds, and the headline speedups the suites promise at
-    smoke scale are also true of the recorded reference numbers.
+    This pins its contract through the `repro.report` tables -- the
+    same TRAJECTORY_RECORDS / SPEEDUP_FLOORS / THRESHOLDS single
+    source of truth the CI bench-gate diffs against, so this tier-1
+    pin and the gate can never drift apart.
     """
     from pathlib import Path
 
+    from repro.report import (
+        SPEEDUP_FLOORS, TRAJECTORY_RECORDS, diff_runs, hot_path_names,
+        load_bench,
+    )
+
     path = Path(__file__).resolve().parent.parent / "BENCH_analytics.json"
-    records = json.loads(path.read_text())
-    names = {r["name"] for r in records}
-    assert {"delta-wsu-scalar", "delta-wsu-columnar",
-            "estimator-random-scalar", "estimator-random-columnar",
-            "estimator-workload-strata-fast",
-            "estimator-workload-strata-pairs",
-            "sim-panel-badco", "sim-panel-analytic",
-            "sim-batch-parallel-jobs1", "sim-batch-parallel-jobs2",
-            "sim-batch-parallel-auto",
-            "pop-store-cold", "pop-store-warm",
-            "e2e-8core-cold", "e2e-8core-warm",
-            "e2e-two-stage", "e2e-two-stage-refine",
-            "serve-oneshot-warm", "serve-query-cold",
-            "serve-query-warm", "serve-concurrent"} <= names
-    assert all(r["seconds"] > 0 for r in records)
-    ratios = speedups(records)
-    assert ratios["sim-panel"] >= 10
-    assert ratios["pop-store"] > 2
-    assert ratios["e2e-8core"] > 2
-    assert ratios["estimator-bench-strata"] > 2
-    assert ratios["sim-batch-parallel"] > 0
-    # The serve acceptance bar: a resident warm query answers at
-    # >= 10x lower latency than the per-invocation warm driver.
-    assert ratios["serve-vs-oneshot"] >= 10
-    assert ratios["serve-query"] > 1
+    run = load_bench(path)
+    names = {r.name for r in run.records}
+    assert set(TRAJECTORY_RECORDS) <= names
+    # The THRESHOLDS patterns all bite: every named hot path appears.
+    assert {"sim-panel-analytic", "e2e-8core-warm",
+            "serve-query-warm"} <= set(hot_path_names(names))
+    assert all(r.seconds > 0 for r in run.records)
+    for stem, floor in SPEEDUP_FLOORS.items():
+        assert run.speedups[stem] >= floor, (stem, floor)
+    assert run.speedups["sim-batch-parallel"] > 0
+    # The committed trajectory diffed against itself is the clean
+    # fixed point of the regression gate.
+    assert diff_runs(run, run).ok
