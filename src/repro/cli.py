@@ -278,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--threshold-scale", type=float, default=1.0,
                       help="multiply every THRESHOLDS entry (CI uses >1 "
                            "on noisy shared runners)")
+    diff.add_argument("--require-suites", action="store_true",
+                      help="fail when the candidate drops an entire "
+                           "baseline suite (use when gating a "
+                           "--suite all run)")
     diff.add_argument("--format", choices=("text", "json", "csv"),
                       default="text", help="output format")
 
@@ -564,7 +568,8 @@ def _cmd_report(args) -> int:
             baseline = load_bench(args.baseline)
             candidate = load_bench(args.candidate)
             result = diff_runs(baseline, candidate,
-                               threshold_scale=args.threshold_scale)
+                               threshold_scale=args.threshold_scale,
+                               require_suites=args.require_suites)
             print(render_diff(result, fmt=args.format), end="")
             return 0 if result.ok else 1
         if args.report_command == "trend":

@@ -210,6 +210,15 @@ class DiffResult:
     floor_checks: List[FloorCheck] = field(default_factory=list)
     #: Floors whose ratio the candidate could not even derive.
     missing_ratios: List[str] = field(default_factory=list)
+    #: Baseline suites with no candidate record at all -- an entire
+    #: suite dropped from the run (e.g. bench wrote output after a
+    #: suite crashed out).  Always reported; fatal iff
+    #: ``require_suites``.
+    missing_suites: List[str] = field(default_factory=list)
+    #: Whether missing suites fail the gate (set when diffing a run
+    #: that was supposed to cover every baseline suite, e.g. CI's
+    #: ``--suite all`` smoke gate).
+    require_suites: bool = False
 
     @property
     def regressions(self) -> List[DiffEntry]:
@@ -223,23 +232,31 @@ class DiffResult:
     def ok(self) -> bool:
         return (not self.regressions and not self.missing_hot_paths
                 and not self.missing_ratios
+                and not (self.require_suites and self.missing_suites)
                 and all(check.ok for check in self.floor_checks))
 
 
 def diff_runs(baseline: BenchRun, candidate: BenchRun,
-              threshold_scale: float = 1.0) -> DiffResult:
+              threshold_scale: float = 1.0,
+              require_suites: bool = False) -> DiffResult:
     """Compare a candidate trajectory against a baseline.
 
     Wall-clock seconds are gated per-record only when the two runs are
     *comparable* -- measured at the same profile (both ``None`` counts
     as comparable: two schema-1 files, or the committed trajectory
     against itself).  Hot-path presence and the candidate's speedup
-    floors are enforced either way.
+    floors are enforced either way.  Baseline suites the candidate
+    dropped entirely are always reported in ``missing_suites``; a
+    suite-subset candidate is otherwise legitimate, so they only fail
+    the gate under ``require_suites``.
 
     Args:
         threshold_scale: multiplies every THRESHOLDS entry -- CI uses
             a larger scale on shared runners where timer noise is
             wider than on the reference machine.
+        require_suites: fail the gate when the candidate is missing an
+            entire baseline suite -- set this when gating a run that
+            claims full coverage (``repro bench --suite all``).
     """
     if not threshold_scale > 0:
         raise ValueError(f"threshold_scale must be positive, "
@@ -265,6 +282,7 @@ def diff_runs(baseline: BenchRun, candidate: BenchRun,
     entries.sort(key=lambda entry: (-entry.relative, entry.name))
 
     candidate_suites = set(candidate.suites)
+    missing_suites = sorted(set(baseline.suites) - candidate_suites)
     missing_hot_paths = sorted(
         name for name in base_by_name
         if threshold_for(name) is not None
@@ -297,4 +315,6 @@ def diff_runs(baseline: BenchRun, candidate: BenchRun,
         missing_hot_paths=missing_hot_paths,
         new_records=new_records,
         floor_checks=floor_checks,
-        missing_ratios=missing_ratios)
+        missing_ratios=missing_ratios,
+        missing_suites=missing_suites,
+        require_suites=require_suites)

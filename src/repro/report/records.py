@@ -107,10 +107,16 @@ class MachineContext:
 
 
 def _git_commit() -> Optional[str]:
-    """The current short commit hash, or None outside a git checkout."""
+    """The current short commit hash, or None outside a git checkout.
+
+    Resolved against the checkout this module lives in, not the
+    process CWD -- ``repro bench`` run from another directory must
+    still record the repro commit, not an unrelated repo's.
+    """
     try:
         output = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
             capture_output=True, text=True, timeout=10, check=False)
     except (OSError, subprocess.SubprocessError):
         return None
@@ -197,6 +203,12 @@ class RunRecord:
         elif not isinstance(suite, str):
             raise ReportError(f"record {name!r}: suite must be a string")
         record_profile = payload.get("profile", profile)
+        if record_profile is not None and \
+                not isinstance(record_profile, str):
+            raise ReportError(f"record {name!r}: profile must be a string")
+        backend = payload.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise ReportError(f"record {name!r}: backend must be a string")
         mips = payload.get("mips")
         if mips is not None and (isinstance(mips, bool)
                                  or not isinstance(mips, (int, float))):
@@ -206,8 +218,7 @@ class RunRecord:
             if key not in CORE_KEYS and key not in _OPTIONAL_KEYS))
         return cls(name=name, seconds=float(seconds), draws=draws,
                    population_size=population, suite=suite,
-                   profile=record_profile,
-                   backend=payload.get("backend"),
+                   profile=record_profile, backend=backend,
                    mips=None if mips is None else float(mips),
                    extras=extras)
 
@@ -276,6 +287,18 @@ def _derive_speedups(records: Sequence[RunRecord]) -> Dict[str, float]:
     return speedups([record.to_dict() for record in records])
 
 
+def _require_unique_names(records: Sequence[RunRecord],
+                          source: str = "run") -> None:
+    """Reject duplicate record names (``BenchRun.by_name`` would
+    otherwise silently keep only the last occurrence)."""
+    names = [record.name for record in records]
+    if len(names) != len(set(names)):
+        duplicates = sorted({name for name in names
+                             if names.count(name) > 1})
+        raise ReportError(f"{source}: duplicate record names: "
+                          f"{', '.join(duplicates)}")
+
+
 def bench_run(records: Sequence[Mapping[str, object]],
               profile: Optional[str] = None,
               context: Optional[MachineContext] = None) -> BenchRun:
@@ -287,12 +310,7 @@ def bench_run(records: Sequence[Mapping[str, object]],
     """
     typed = [RunRecord.from_dict(record, profile=profile)
              for record in records]
-    names = [record.name for record in typed]
-    if len(names) != len(set(names)):
-        duplicates = sorted({name for name in names
-                             if names.count(name) > 1})
-        raise ReportError(f"duplicate record names: "
-                          f"{', '.join(duplicates)}")
+    _require_unique_names(typed)
     return BenchRun(records=typed,
                     context=machine_context() if context is None
                     else context,
@@ -305,6 +323,7 @@ def bench_run_from_payload(payload: object,
     """Typed load of either schema's JSON payload."""
     if isinstance(payload, list):
         records = [RunRecord.from_dict(record) for record in payload]
+        _require_unique_names(records, source=source)
         return BenchRun(records=records, schema=1,
                         speedups=_derive_speedups(records))
     if isinstance(payload, Mapping):
@@ -321,6 +340,7 @@ def bench_run_from_payload(payload: object,
             raise ReportError(f"{source}: profile must be a string")
         records = [RunRecord.from_dict(record, profile=profile)
                    for record in raw_records]
+        _require_unique_names(records, source=source)
         stored = payload.get("speedups")
         if stored is not None and not isinstance(stored, Mapping):
             raise ReportError(f"{source}: speedups must be an object")

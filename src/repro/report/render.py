@@ -159,6 +159,8 @@ def render_diff(diff: DiffResult, fmt: str = "text") -> str:
                 "floor": check.floor, "ok": check.ok,
             } for check in diff.floor_checks],
             "missing_ratios": diff.missing_ratios,
+            "missing_suites": diff.missing_suites,
+            "require_suites": diff.require_suites,
         }
         return json.dumps(payload, indent=2) + "\n"
     if fmt == "csv":
@@ -211,6 +213,10 @@ def render_diff(diff: DiffResult, fmt: str = "text") -> str:
         sections.append("[speedup floors]\n" + format_table(
             ("ratio", "candidate", "floor", "verdict"), rows,
             align="<>>>"))
+    if diff.missing_suites:
+        gating = "gated" if diff.require_suites else "not gated"
+        sections.append(f"[missing suites ({gating})]\n" + "\n".join(
+            f"  {name}" for name in diff.missing_suites))
     if diff.missing_hot_paths:
         sections.append("[missing hot paths]\n" + "\n".join(
             f"  {name}" for name in diff.missing_hot_paths))
@@ -222,6 +228,8 @@ def render_diff(diff: DiffResult, fmt: str = "text") -> str:
               f"{len(diff.missing_hot_paths)} missing hot path(s), "
               f"{sum(1 for check in diff.floor_checks if not check.ok)}"
               f" floor failure(s)")
+    if diff.missing_suites:
+        counts += f", {len(diff.missing_suites)} missing suite(s)"
     sections.append(f"verdict: {verdict} ({counts})")
     return "\n\n".join(sections) + "\n"
 

@@ -121,6 +121,23 @@ def test_round_trip_preserves_extras(tmp_path):
     assert again.schema == SCHEMA_VERSION
 
 
+def test_run_record_rejects_nonstring_backend_and_profile():
+    with pytest.raises(ReportError):
+        RunRecord.from_dict(_record("x", 1.0, backend=7))
+    with pytest.raises(ReportError):
+        RunRecord.from_dict(_record("x", 1.0, profile=["smoke"]))
+
+
+def test_loaded_trajectories_reject_duplicate_names():
+    """Loads validate like fresh runs: by_name must be lossless."""
+    duplicated = [_record("e2e-8core-warm", 1.0),
+                  _record("e2e-8core-warm", 2.0)]
+    with pytest.raises(ReportError, match="duplicate"):
+        bench_run_from_payload(duplicated)
+    with pytest.raises(ReportError, match="duplicate"):
+        bench_run_from_payload({"schema": 2, "records": duplicated})
+
+
 def test_load_bench_rejects_garbage(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text("not json")
@@ -254,6 +271,27 @@ def test_missing_hot_path_fails_the_diff():
     diff = diff_runs(base, _run(seconds))
     assert diff.missing_hot_paths == ["serve-query-warm"]
     assert not diff.ok
+
+
+def test_dropped_suite_is_reported_and_gated_on_request():
+    """A candidate that loses a whole suite never passes silently."""
+    base = _run(FIXTURE_SECONDS)
+    seconds = {name: value for name, value in FIXTURE_SECONDS.items()
+               if not name.startswith("serve-")}
+    cand = _run(seconds)
+    diff = diff_runs(base, cand)
+    assert diff.missing_suites == ["serve"]
+    assert diff.ok                       # subset runs stay legitimate
+    strict = diff_runs(base, cand, require_suites=True)
+    assert strict.missing_suites == ["serve"]
+    assert not strict.ok
+    text = render_diff(strict)
+    assert "[missing suites (gated)]" in text and "serve" in text
+    assert "1 missing suite(s)" in text
+    payload = json.loads(render_diff(strict, fmt="json"))
+    assert payload["missing_suites"] == ["serve"]
+    assert payload["require_suites"] is True
+    assert payload["ok"] is False
 
 
 def test_floor_failure_fails_the_diff():
@@ -475,6 +513,20 @@ def test_cli_report_diff_catches_injected_slowdown(tmp_path, capsys):
     assert code == 1
     out = capsys.readouterr().out
     assert "REGRESSED" in out and "verdict: FAIL" in out
+
+
+def test_cli_report_diff_require_suites(tmp_path, capsys):
+    payload = json.loads(TRAJECTORY.read_text())
+    payload["records"] = [record for record in payload["records"]
+                          if not record["name"].startswith("serve-")]
+    partial = tmp_path / "partial.json"
+    partial.write_text(json.dumps(payload))
+    assert main(["report", "diff", "--baseline", str(TRAJECTORY),
+                 "--candidate", str(partial)]) == 0
+    capsys.readouterr()
+    assert main(["report", "diff", "--baseline", str(TRAJECTORY),
+                 "--candidate", str(partial), "--require-suites"]) == 1
+    assert "[missing suites (gated)]" in capsys.readouterr().out
 
 
 def test_cli_report_diff_bad_inputs(tmp_path, capsys):
